@@ -1,0 +1,38 @@
+# BioNav developer targets. Stdlib-only project; gofmt + go vet are the
+# full lint suite.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments demo clean
+
+all: fmt vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation (§VIII).
+experiments:
+	$(GO) run ./cmd/bionav-experiments -scale full
+
+# Build a demo database and open the web UI on :8080.
+demo:
+	$(GO) run ./cmd/bionav-gen -workload -out bionav-db
+	$(GO) run ./cmd/bionav-server -db bionav-db
+
+clean:
+	rm -rf bionav-db test_output.txt bench_output.txt

@@ -1,0 +1,91 @@
+// Command bionav-crawl reproduces the paper's off-line association
+// collection (§VII): for each concept of the MeSH hierarchy it issues one
+// ESearch query against an Entrez eutils endpoint and assembles the
+// denormalized (citation → concepts) table — the process that took the
+// authors "almost 20 days" against the real PubMed because of eutils rate
+// limits. By default it runs against an embedded simulated endpoint (with
+// a configurable rate limit, so the politeness machinery is exercised) and
+// verifies the crawl against the corpus ground truth.
+//
+//	bionav-crawl -db ./db                  # crawl a generated dataset
+//	bionav-crawl -db ./db -rate 100        # simulate a strict rate limit
+//	bionav-crawl -db ./db -eutils http://… # crawl a remote eutils endpoint
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"bionav/internal/eutils"
+	"bionav/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bionav-crawl: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bionav-crawl", flag.ContinueOnError)
+	var (
+		dbDir   = fs.String("db", "", "BioNav database directory (from bionav-gen)")
+		remote  = fs.String("eutils", "", "remote eutils base URL (default: embedded simulator)")
+		rate    = fs.Int("rate", 0, "embedded simulator rate limit, requests/second (0 = unlimited)")
+		pace    = fs.Duration("pace", 0, "client-side minimum delay between requests")
+		verify  = fs.Bool("verify", true, "verify the crawl against the corpus ground truth")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall crawl deadline")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbDir == "" {
+		return fmt.Errorf("pass -db <dir>")
+	}
+
+	ds, err := store.LoadDataset(*dbDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dataset: %d concepts, %d citations\n", ds.Tree.Len(), ds.Corpus.Len())
+
+	base := *remote
+	if base == "" {
+		srv := httptest.NewServer(eutils.NewServer(ds, eutils.ServerConfig{RequestsPerSecond: *rate}).Handler())
+		defer srv.Close()
+		base = srv.URL
+		fmt.Fprintf(stdout, "embedded eutils simulator at %s (rate limit %d/s)\n", base, *rate)
+	}
+	client := &eutils.Client{BaseURL: base, Pace: *pace}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	assoc, err := eutils.Crawl(ctx, client, ds.Tree, func(done, total int, tuples int64) {
+		fmt.Fprintf(stdout, "  %6d/%d concepts queried, %d tuples\n", done, total, tuples)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "crawl complete: %d queries, %d (concept, citation) tuples in %v\n",
+		assoc.Queries, assoc.Tuples, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(the paper's full-MEDLINE crawl collected ~747M tuples in ~20 days)\n")
+
+	if *verify {
+		if err := assoc.VerifyAgainst(ds.Corpus); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Fprintln(stdout, "verification: crawled associations match the corpus exactly")
+	}
+	return nil
+}

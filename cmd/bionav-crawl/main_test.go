@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bionav"
+)
+
+func crawlDB(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	ds := bionav.GenerateDemo(bionav.DemoConfig{Seed: 5, Concepts: 600, Citations: 100, MeanConcepts: 12})
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCrawlEmbeddedSimulator(t *testing.T) {
+	dir := crawlDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"crawl complete", "verification: crawled associations match"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCrawlWithRateLimit(t *testing.T) {
+	dir := crawlDB(t)
+	var out bytes.Buffer
+	// A tight-but-survivable limit exercises client retries end-to-end.
+	if err := run([]string{"-db", dir, "-rate", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rate limit 500/s") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestCrawlFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -db accepted")
+	}
+	if err := run([]string{"-db", "/nonexistent-dir-xyz"}, &out); err == nil {
+		t.Fatal("bad db accepted")
+	}
+}

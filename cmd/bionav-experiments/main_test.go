@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bionav/internal/workload"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-scale", "small"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Table I", "prothymosin", "Histones", "total wall time"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig9", "-scale", "small", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Fig. 9") {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "fig99", "-scale", "small"}, &out); err == nil {
+		t.Fatal("bad experiment accepted")
+	}
+}
+
+func TestRunFromSavedWorkloadDB(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	// Generate a small workload db via the sibling generator logic.
+	cfg := workload.DefaultConfig()
+	cfg.HierarchyNodes = 8000
+	cfg.Background = 50
+	for i := range cfg.Specs {
+		cfg.Specs[i].MeanConcepts = 40
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-db", dir, "-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "prothymosin") {
+		t.Fatalf("output = %q", out.String())
+	}
+}

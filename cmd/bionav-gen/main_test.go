@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bionav"
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+func TestGenerateDemoDB(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-concepts", "900", "-citations", "120", "-mean-concepts", "15"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved BioNav database") {
+		t.Fatalf("output = %q", out.String())
+	}
+	engine, err := bionav.Open(dir)
+	if err != nil {
+		t.Fatalf("generated db unreadable: %v", err)
+	}
+	if engine.Dataset().Tree.Len() != 900 || engine.Dataset().Corpus.Len() != 120 {
+		t.Fatalf("db sizes: %d concepts, %d citations",
+			engine.Dataset().Tree.Len(), engine.Dataset().Corpus.Len())
+	}
+}
+
+func TestGenerateWorkloadDB(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-workload", "-hierarchy", "8000", "-background", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, kw := range []string{"prothymosin", "vardenafil", "follistatin"} {
+		if !strings.Contains(got, kw) {
+			t.Errorf("workload output missing %q", kw)
+		}
+	}
+	engine, err := bionav.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted queries must be searchable in the persisted dataset.
+	if ids := engine.Search("prothymosin"); len(ids) != 313 {
+		t.Fatalf("prothymosin results = %d, want 313", len(ids))
+	}
+	nav, err := engine.Navigate("prothymosin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nav.NodeByLabel("Histones"); !ok {
+		t.Fatal("target concept Histones not navigable")
+	}
+}
+
+func TestRejectsPositionalArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"stray"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+func TestBadOutputDir(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-out", "/dev/null/impossible", "-concepts", "100", "-citations", "10"}, &out)
+	if err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestImportRealDataFormats(t *testing.T) {
+	// Round-trip a synthetic dataset through the NLM exchange formats and
+	// import it via the -mesh/-medline path.
+	src := bionav.GenerateDemo(bionav.DemoConfig{Seed: 9, Concepts: 400, Citations: 60, MeanConcepts: 10})
+	dir := t.TempDir()
+	meshPath := filepath.Join(dir, "mesh.bin")
+	medPath := filepath.Join(dir, "citations.xml")
+
+	mf, err := os.Create(meshPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hierarchy.WriteMeSHASCII(mf, src.Tree); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	all := make([]corpus.Citation, 0, src.Corpus.Len())
+	for i := 0; i < src.Corpus.Len(); i++ {
+		all = append(all, *src.Corpus.At(i))
+	}
+	cf, err := os.Create(medPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteMedlineXML(cf, src.Tree, all); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+
+	out := filepath.Join(dir, "db")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", out, "-mesh", meshPath, "-medline", medPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "imported 60 of 60 articles") {
+		t.Fatalf("output = %q", buf.String())
+	}
+	engine, err := bionav.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Dataset().Corpus.Len() != 60 {
+		t.Fatalf("imported corpus size %d", engine.Dataset().Corpus.Len())
+	}
+	// A navigation over imported data works end to end.
+	nav, err := engine.Navigate(engine.Suggestions(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nav.Expand(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mesh", "only-one.bin"}, &out); err == nil {
+		t.Fatal("-mesh without -medline accepted")
+	}
+	if err := run([]string{"-mesh", "a", "-medline", "b", "-workload"}, &out); err == nil {
+		t.Fatal("-workload with import accepted")
+	}
+	if err := run([]string{"-mesh", "/nonexistent-a", "-medline", "/nonexistent-b"}, &out); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

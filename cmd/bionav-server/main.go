@@ -1,0 +1,99 @@
+// Command bionav-server runs BioNav's on-line subsystem (§VII): a web
+// interface at / and a JSON API under /api/ serving keyword queries and
+// cost-optimized navigation over a BioNav database.
+//
+//	bionav-server -demo -addr :8080
+//	bionav-server -db ./db
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bionav"
+	"bionav/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bionav-server: ")
+	handler, addr, err := build(os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.Middleware(handler, log.Default()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Graceful shutdown: finish in-flight navigations on SIGINT/SIGTERM.
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down…")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// build parses flags, loads the dataset, and returns the ready handler and
+// listen address; main only binds the socket. Split out for testing.
+func build(args []string, stdout io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("bionav-server", flag.ContinueOnError)
+	var (
+		dbDir   = fs.String("db", "", "BioNav database directory (from bionav-gen)")
+		demo    = fs.Bool("demo", false, "serve an in-memory demo dataset instead of -db")
+		addr    = fs.String("addr", ":8080", "listen address")
+		policyK = fs.Int("k", 10, "Heuristic-ReducedOpt reduced-tree budget")
+		maxSess = fs.Int("max-sessions", 256, "maximum concurrent navigation sessions")
+		sessTTL = fs.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	var ds *bionav.Dataset
+	switch {
+	case *demo && *dbDir != "":
+		return nil, "", fmt.Errorf("-demo and -db are mutually exclusive")
+	case *demo:
+		fmt.Fprintln(stdout, "generating demo dataset…")
+		ds = bionav.GenerateDemo(bionav.DemoConfig{})
+	case *dbDir != "":
+		engine, err := bionav.Open(*dbDir)
+		if err != nil {
+			return nil, "", err
+		}
+		ds = engine.Dataset()
+	default:
+		return nil, "", fmt.Errorf("pass -db <dir> or -demo")
+	}
+
+	srv := server.New(ds, server.Config{
+		MaxSessions: *maxSess,
+		SessionTTL:  *sessTTL,
+		PolicyK:     *policyK,
+	})
+	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s\n", ds.Tree.Len(), ds.Corpus.Len(), *addr)
+	return srv.Handler(), *addr, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bionav"
+)
+
+func TestBuildServesDB(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	ds := bionav.GenerateDemo(bionav.DemoConfig{Seed: 6, Concepts: 800, Citations: 150, MeanConcepts: 15})
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	handler, addr, err := build([]string{"-db", dir, "-addr", ":0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if !strings.Contains(out.String(), "serving 800 concepts") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestBuildFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if _, _, err := build(nil, &out); err == nil {
+		t.Fatal("missing -db/-demo accepted")
+	}
+	if _, _, err := build([]string{"-demo", "-db", "x"}, &out); err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+	if _, _, err := build([]string{"-db", "/nonexistent-xyz"}, &out); err == nil {
+		t.Fatal("bad db accepted")
+	}
+}

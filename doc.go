@@ -1,0 +1,33 @@
+// Package bionav is a Go implementation of BioNav (Kashyap, Hristidis,
+// Petropoulos, Tavoulari — ICDE 2009): effective navigation on large query
+// results of biomedical databases.
+//
+// A keyword query over a citation database (MEDLINE in the paper) often
+// returns hundreds of results. BioNav organizes them into a navigation
+// tree over a concept hierarchy (MeSH) and then expands that tree
+// dynamically: each EXPAND action applies a valid EdgeCut chosen to
+// minimize the user's expected navigation cost under the TOPDOWN model.
+// Selecting the optimal EdgeCut is NP-complete; the production policy,
+// Heuristic-ReducedOpt, partitions the component into at most k supernodes
+// and solves the reduced problem exactly.
+//
+// # Quick start
+//
+//	ds := bionav.GenerateDemo(bionav.DemoConfig{})
+//	engine := bionav.NewEngine(ds)
+//	nav, err := engine.Navigate("prothymosin alpha")
+//	if err != nil { ... }
+//	revealed, _ := nav.Expand(nav.Root())
+//	nav.Render(os.Stdout)             // Fig. 2-style tree
+//	cits, _ := nav.ShowResults(revealed[0])
+//
+// Datasets persist to an embedded table store:
+//
+//	_ = engine.Save("./bionav-db")
+//	engine, _ = bionav.Open("./bionav-db")
+//
+// The cmd/ directory ships a CLI navigator, a dataset generator, a web
+// server reproducing the paper's on-line architecture, and a harness that
+// regenerates every table and figure of the paper's evaluation; see
+// README.md and EXPERIMENTS.md.
+package bionav

@@ -1,0 +1,76 @@
+package bionav_test
+
+import (
+	"fmt"
+
+	"bionav"
+)
+
+// Example demonstrates the complete loop: generate a deterministic demo
+// dataset, search, expand with the cost-optimized policy, and account the
+// navigation cost.
+func Example() {
+	engine := bionav.NewEngine(bionav.GenerateDemo(bionav.DemoConfig{Seed: 42}))
+	nav, err := engine.Navigate("modulates")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	revealed, err := nav.Expand(nav.Root())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cost := nav.Cost()
+	fmt.Printf("one EXPAND revealed %d concepts at navigation cost %d\n",
+		len(revealed), cost.Navigation())
+	// Output:
+	// one EXPAND revealed 2 concepts at navigation cost 3
+}
+
+// ExampleEngine_Search shows plain retrieval without navigation.
+func ExampleEngine_Search() {
+	engine := bionav.NewEngine(bionav.GenerateDemo(bionav.DemoConfig{Seed: 42}))
+	ids := engine.Search("modulates")
+	fmt.Printf("found %d citations\n", len(ids))
+	fmt.Printf("conjunction shrinks results: %v\n",
+		len(engine.Search("modulates vivo")) <= len(ids))
+	// Output:
+	// found 266 citations
+	// conjunction shrinks results: true
+}
+
+// ExampleNavigation_ShowResults lists the top-ranked citations under a
+// revealed concept.
+func ExampleNavigation_ShowResults() {
+	engine := bionav.NewEngine(bionav.GenerateDemo(bionav.DemoConfig{Seed: 42}))
+	nav, _ := engine.Navigate("modulates")
+	revealed, _ := nav.Expand(nav.Root())
+	cits, _ := nav.ShowResults(revealed[0])
+	fmt.Printf("listed %d citations, ranked by relevance\n", len(cits))
+	fmt.Println(len(cits) > 0)
+	// Output:
+	// listed 133 citations, ranked by relevance
+	// true
+}
+
+// ExampleEngine_SetPolicy compares the static baseline against BioNav's
+// heuristic on the same expansion.
+func ExampleEngine_SetPolicy() {
+	engine := bionav.NewEngine(bionav.GenerateDemo(bionav.DemoConfig{Seed: 42}))
+
+	engine.SetPolicy(bionav.StaticPolicy())
+	staticNav, _ := engine.Navigate("modulates")
+	staticRevealed, _ := staticNav.Expand(staticNav.Root())
+
+	engine.SetPolicy(bionav.HeuristicPolicy(10))
+	bioNav, _ := engine.Navigate("modulates")
+	bioRevealed, _ := bioNav.Expand(bioNav.Root())
+
+	fmt.Printf("static reveals all %d children; BioNav reveals %d selected concepts\n",
+		len(staticRevealed), len(bioRevealed))
+	fmt.Println(len(bioRevealed) < len(staticRevealed))
+	// Output:
+	// static reveals all 112 children; BioNav reveals 2 selected concepts
+	// true
+}

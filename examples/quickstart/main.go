@@ -1,0 +1,70 @@
+// The quickstart example shows the minimal BioNav loop: generate a demo
+// dataset, run a keyword query, expand the navigation tree twice with the
+// cost-optimized policy, print the Fig. 2-style tree, and list the
+// citations of the most promising revealed concept.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bionav"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A deterministic synthetic dataset: MeSH-like hierarchy, annotated
+	// citations, keyword index. Real deployments load one with bionav.Open.
+	engine := bionav.NewEngine(bionav.GenerateDemo(bionav.DemoConfig{Seed: 42}))
+
+	// Pick a common term from the corpus so the demo always has results.
+	query := engine.Suggestions(1)[0]
+	nav, err := engine.Navigate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q matched %d citations\n\n", query, nav.Results())
+
+	// Two EXPAND actions on the root: each applies the EdgeCut minimizing
+	// the expected navigation cost, revealing a handful of descendant
+	// concepts instead of every child.
+	for i := 0; i < 2; i++ {
+		revealed, err := nav.Expand(nav.Root())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("EXPAND #%d revealed %d concepts\n", i+1, len(revealed))
+	}
+	fmt.Println()
+	if err := nav.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// SHOWRESULTS on the top-ranked revealed concept.
+	rows := nav.Visible()
+	if len(rows) > 1 {
+		pick := rows[1]
+		cits, err := nav.ShowResults(pick.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncitations under %q (%d):\n", pick.Label, len(cits))
+		for i, c := range cits {
+			if i == 5 {
+				fmt.Printf("  … and %d more\n", len(cits)-5)
+				break
+			}
+			fmt.Printf("  [%d] %s (%d)\n", c.ID, c.Title, c.Year)
+		}
+	}
+
+	cost := nav.Cost()
+	fmt.Printf("\nnavigation cost so far: %d (%d EXPANDs, %d concepts examined, %d citations listed)\n",
+		cost.Total(), cost.Expands, cost.ConceptsRevealed, cost.CitationsListed)
+}

@@ -1,0 +1,98 @@
+// The realdata example demonstrates the adoption path for actual NLM data:
+// it writes a dataset out in the two official exchange formats — a MeSH
+// descriptor file (ASCII MH/MN records, like d2008.bin) and a MEDLINE
+// citation set (PubmedArticleSet XML, what eutils EFetch returns) — then
+// imports those files with bionav.Import exactly as a user with real
+// downloads would, and navigates the imported corpus.
+//
+// Run with:
+//
+//	go run ./examples/realdata
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bionav"
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dir, err := os.MkdirTemp("", "bionav-realdata")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	meshPath := filepath.Join(dir, "mesh-descriptors.bin")
+	medlinePath := filepath.Join(dir, "citations.xml")
+
+	// Stand-in for downloading d2008.bin and an EFetch result: export a
+	// synthetic dataset in the official formats.
+	src := bionav.GenerateDemo(bionav.DemoConfig{Seed: 77, Concepts: 2000, Citations: 400, MeanConcepts: 25})
+	writeFiles(src, meshPath, medlinePath)
+	fmt.Printf("wrote %s and %s\n", meshPath, medlinePath)
+
+	// The part a real user runs: import the two files.
+	mf := mustOpen(meshPath)
+	defer mf.Close()
+	cf := mustOpen(medlinePath)
+	defer cf.Close()
+	ds, stats, err := bionav.Import(mf, cf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d of %d articles (%d unknown MeSH headings)\n",
+		stats.Imported, stats.Articles, stats.UnknownDescriptors)
+
+	engine := bionav.NewEngine(ds)
+	query := engine.Suggestions(1)[0]
+	nav, err := engine.Navigate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnavigating %d results for %q over the imported MeSH:\n\n", nav.Results(), query)
+	if _, err := nav.Expand(nav.Root()); err != nil {
+		log.Fatal(err)
+	}
+	if err := nav.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeFiles(ds *bionav.Dataset, meshPath, medlinePath string) {
+	mf, err := os.Create(meshPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mf.Close()
+	if err := hierarchy.WriteMeSHASCII(mf, ds.Tree); err != nil {
+		log.Fatal(err)
+	}
+
+	all := make([]corpus.Citation, 0, ds.Corpus.Len())
+	for i := 0; i < ds.Corpus.Len(); i++ {
+		all = append(all, *ds.Corpus.At(i))
+	}
+	cf, err := os.Create(medlinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cf.Close()
+	if err := corpus.WriteMedlineXML(cf, ds.Tree, all); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustOpen(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}

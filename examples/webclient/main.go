@@ -1,0 +1,128 @@
+// The webclient example exercises BioNav's on-line architecture (§VII)
+// end-to-end over HTTP: it starts the web server on an in-memory demo
+// dataset, then acts as a client — issuing a keyword query, expanding the
+// returned tree through the JSON API, and fetching citation summaries —
+// exactly what the browser UI does.
+//
+// Run with:
+//
+//	go run ./examples/webclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"bionav"
+	"bionav/internal/server"
+)
+
+type treeNode struct {
+	Node       int        `json:"node"`
+	Label      string     `json:"label"`
+	Count      int        `json:"count"`
+	Expandable bool       `json:"expandable"`
+	Children   []treeNode `json:"children"`
+}
+
+type state struct {
+	Session string `json:"session"`
+	Results int    `json:"results"`
+	Cost    struct {
+		Expands    int `json:"expands"`
+		Navigation int `json:"navigation"`
+	} `json:"cost"`
+	Tree treeNode `json:"tree"`
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ds := bionav.GenerateDemo(bionav.DemoConfig{Seed: 11})
+	ts := httptest.NewServer(server.New(ds, server.Config{}).Handler())
+	defer ts.Close()
+	fmt.Printf("BioNav server serving %d concepts / %d citations at %s\n\n",
+		ds.Tree.Len(), ds.Corpus.Len(), ts.URL)
+
+	// A term guaranteed to match the demo corpus.
+	query := bionav.NewEngine(ds).Suggestions(1)[0]
+
+	var st state
+	post(ts.URL+"/api/query", map[string]any{"keywords": query}, &st)
+	fmt.Printf("POST /api/query %q → session %s, %d results\n", query, st.Session, st.Results)
+
+	// Expand the root twice through the API.
+	for i := 0; i < 2; i++ {
+		post(ts.URL+"/api/expand", map[string]any{"session": st.Session, "node": st.Tree.Node}, &st)
+		fmt.Printf("POST /api/expand → %d visible children, navigation cost %d\n",
+			len(st.Tree.Children), st.Cost.Navigation)
+	}
+
+	fmt.Println("\nvisible tree from the API:")
+	printTree(st.Tree, 0)
+
+	// Fetch the citations of the top-ranked child.
+	if len(st.Tree.Children) > 0 {
+		child := st.Tree.Children[0]
+		var cits []struct {
+			ID    int64  `json:"id"`
+			Title string `json:"title"`
+			Year  int    `json:"year"`
+		}
+		get(fmt.Sprintf("%s/api/results?session=%s&node=%d", ts.URL, st.Session, child.Node), &cits)
+		fmt.Printf("\nGET /api/results for %q → %d citations; first three:\n", child.Label, len(cits))
+		for i, c := range cits {
+			if i == 3 {
+				break
+			}
+			fmt.Printf("  [%d] %s (%d)\n", c.ID, c.Title, c.Year)
+		}
+	}
+}
+
+func post(url string, body any, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printTree(n treeNode, depth int) {
+	marker := ""
+	if n.Expandable {
+		marker = " >>>"
+	}
+	fmt.Printf("%*s%s (%d)%s\n", depth*2, "", n.Label, n.Count, marker)
+	for _, c := range n.Children {
+		printTree(c, depth+1)
+	}
+}

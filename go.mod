@@ -1,0 +1,3 @@
+module bionav
+
+go 1.22

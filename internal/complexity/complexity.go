@@ -1,0 +1,321 @@
+// Package complexity makes the paper's §V complexity results executable:
+// the TOPDOWN-EXHAUSTIVE Decision problem (TED), the MAXIMUM EDGE SUBGRAPH
+// problem (MES) it reduces from, brute-force optimal solvers for both, and
+// the Theorem 1 reduction itself. Property tests verify — on every small
+// instance they can enumerate — that the reduction preserves optima, which
+// is the strongest machine-checkable evidence for the paper's
+// NP-completeness argument.
+//
+// TOPDOWN-EXHAUSTIVE is the simplified navigation model used in the proof:
+// BioNav performs one EdgeCut on the root, the user reads the label of
+// every created component subtree, picks one at random and runs
+// SHOWRESULTS. Its expected cost is |C| + Σ_i |unique(T_i)| / |C| over the
+// created subtrees, so minimizing cost for a fixed subtree count means
+// maximizing the duplicates kept *inside* subtrees — the quantity TED asks
+// about.
+package complexity
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TEDInstance is a navigation tree whose nodes carry multisets of result
+// elements. The root is node 0; Parent[i] < i for i > 0.
+type TEDInstance struct {
+	Parent []int
+	Elems  [][]int // element identifiers; duplicates within a node allowed
+}
+
+// Validate checks structural sanity.
+func (in *TEDInstance) Validate() error {
+	if len(in.Parent) == 0 || len(in.Parent) != len(in.Elems) {
+		return fmt.Errorf("complexity: malformed TED instance")
+	}
+	if in.Parent[0] != -1 {
+		return fmt.Errorf("complexity: root parent must be -1")
+	}
+	for i := 1; i < len(in.Parent); i++ {
+		if in.Parent[i] < 0 || in.Parent[i] >= i {
+			return fmt.Errorf("complexity: node %d has invalid parent %d", i, in.Parent[i])
+		}
+	}
+	return nil
+}
+
+// n returns the node count.
+func (in *TEDInstance) n() int { return len(in.Parent) }
+
+// isAncestor reports proper ancestry.
+func (in *TEDInstance) isAncestor(a, b int) bool {
+	for cur := in.Parent[b]; cur != -1; cur = in.Parent[cur] {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// subtreeMask returns the bitmask of v's subtree (including v).
+func (in *TEDInstance) subtreeMask(v int) uint64 {
+	mask := uint64(1) << uint(v)
+	for i := v + 1; i < in.n(); i++ {
+		if in.isAncestor(v, i) || in.Parent[i] == v {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// duplicatesIn counts duplicates among the elements of the nodes in mask:
+// an element occurring t times contributes t−1.
+func (in *TEDInstance) duplicatesIn(mask uint64) int {
+	counts := make(map[int]int)
+	total := 0
+	for i := 0; i < in.n(); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		for _, e := range in.Elems[i] {
+			counts[e]++
+			total++
+		}
+	}
+	return total - len(counts)
+}
+
+// uniqueIn counts distinct elements of the nodes in mask.
+func (in *TEDInstance) uniqueIn(mask uint64) int {
+	set := make(map[int]struct{})
+	for i := 0; i < in.n(); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		for _, e := range in.Elems[i] {
+			set[e] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// TEDSolution is a valid EdgeCut evaluated under TED's objective.
+type TEDSolution struct {
+	Cut        []int // nodes whose parent edge is cut; |Cut|+1 subtrees
+	Subtrees   int
+	Duplicates int // duplicates kept inside the created subtrees
+}
+
+// validCuts enumerates every valid EdgeCut (as sorted node lists), i.e.
+// non-empty pairwise non-ancestral subsets of non-root nodes. The instance
+// must have at most 20 nodes.
+func (in *TEDInstance) validCuts() [][]int {
+	var nonRoot []int
+	for i := 1; i < in.n(); i++ {
+		nonRoot = append(nonRoot, i)
+	}
+	var out [][]int
+	for sub := uint64(1); sub < 1<<uint(len(nonRoot)); sub++ {
+		var cut []int
+		for j, v := range nonRoot {
+			if sub&(1<<uint(j)) != 0 {
+				cut = append(cut, v)
+			}
+		}
+		ok := true
+		for _, a := range cut {
+			for _, b := range cut {
+				if a != b && in.isAncestor(a, b) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			out = append(out, cut)
+		}
+	}
+	return out
+}
+
+// evaluate computes the subtree count and internal-duplicate total of cut.
+func (in *TEDInstance) evaluate(cut []int) TEDSolution {
+	full := uint64(1)<<uint(in.n()) - 1
+	var lowered uint64
+	dups := 0
+	for _, v := range cut {
+		sv := in.subtreeMask(v)
+		lowered |= sv
+		dups += in.duplicatesIn(sv)
+	}
+	upper := full &^ lowered
+	dups += in.duplicatesIn(upper)
+	return TEDSolution{Cut: cut, Subtrees: len(cut) + 1, Duplicates: dups}
+}
+
+// SolveTED maximizes internal duplicates over all valid EdgeCuts producing
+// exactly subtrees components (brute force; ≤ 20 nodes). The boolean is
+// false if no valid cut yields that component count.
+func SolveTED(in *TEDInstance, subtrees int) (TEDSolution, bool) {
+	if in.n() > 20 {
+		panic("complexity: SolveTED instance too large for brute force")
+	}
+	if subtrees == 1 {
+		// The empty cut: the whole tree is one component (MES's k = N).
+		full := uint64(1)<<uint(in.n()) - 1
+		return TEDSolution{Subtrees: 1, Duplicates: in.duplicatesIn(full)}, true
+	}
+	best := TEDSolution{Duplicates: -1}
+	for _, cut := range in.validCuts() {
+		if len(cut)+1 != subtrees {
+			continue
+		}
+		sol := in.evaluate(cut)
+		if sol.Duplicates > best.Duplicates {
+			best = sol
+		}
+	}
+	return best, best.Duplicates >= 0
+}
+
+// DecideTED answers the §V decision question: is there a valid EdgeCut
+// creating `subtrees` components with at least `dups` internal duplicates?
+func DecideTED(in *TEDInstance, subtrees, dups int) bool {
+	sol, ok := SolveTED(in, subtrees)
+	return ok && sol.Duplicates >= dups
+}
+
+// ExhaustiveCost is the TOPDOWN-EXHAUSTIVE expected navigation cost of a
+// cut: the user reads all |C|+1 component labels, then SHOWRESULTS on one
+// component chosen uniformly — the average distinct-result count.
+func (in *TEDInstance) ExhaustiveCost(cut []int) float64 {
+	full := uint64(1)<<uint(in.n()) - 1
+	var lowered uint64
+	sum := 0
+	for _, v := range cut {
+		sv := in.subtreeMask(v)
+		lowered |= sv
+		sum += in.uniqueIn(sv)
+	}
+	upper := full &^ lowered
+	sum += in.uniqueIn(upper)
+	m := float64(len(cut) + 1)
+	return m + float64(sum)/m
+}
+
+// OptimalExhaustiveCut minimizes ExhaustiveCost by brute force.
+func OptimalExhaustiveCut(in *TEDInstance) ([]int, float64) {
+	var best []int
+	bestCost := 0.0
+	for _, cut := range in.validCuts() {
+		c := in.ExhaustiveCost(cut)
+		if best == nil || c < bestCost {
+			best, bestCost = cut, c
+		}
+	}
+	return best, bestCost
+}
+
+// WeightedEdge is one MES graph edge.
+type WeightedEdge struct {
+	U, V   int
+	Weight int
+}
+
+// MESInstance is a MAXIMUM EDGE SUBGRAPH instance: pick k vertices
+// maximizing the total weight of induced edges. NP-complete [Garey &
+// Johnson, via the paper's reference 7].
+type MESInstance struct {
+	N     int
+	Edges []WeightedEdge
+}
+
+// Validate checks edge endpoints and weights.
+func (g *MESInstance) Validate() error {
+	if g.N <= 0 {
+		return fmt.Errorf("complexity: MES with %d vertices", g.N)
+	}
+	for _, e := range g.Edges {
+		if e.U < 0 || e.U >= g.N || e.V < 0 || e.V >= g.N || e.U == e.V {
+			return fmt.Errorf("complexity: bad edge %+v", e)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("complexity: negative weight %+v", e)
+		}
+	}
+	return nil
+}
+
+// SolveMES maximizes induced edge weight over all k-subsets (brute force;
+// ≤ 20 vertices). Returns the chosen vertex set and its weight.
+func SolveMES(g *MESInstance, k int) ([]int, int) {
+	if g.N > 20 {
+		panic("complexity: SolveMES instance too large for brute force")
+	}
+	if k < 0 || k > g.N {
+		return nil, 0
+	}
+	bestW := -1
+	var best []int
+	for sub := uint64(0); sub < 1<<uint(g.N); sub++ {
+		if bits.OnesCount64(sub) != k {
+			continue
+		}
+		w := 0
+		for _, e := range g.Edges {
+			if sub&(1<<uint(e.U)) != 0 && sub&(1<<uint(e.V)) != 0 {
+				w += e.Weight
+			}
+		}
+		if w > bestW {
+			bestW = w
+			best = best[:0]
+			for v := 0; v < g.N; v++ {
+				if sub&(1<<uint(v)) != 0 {
+					best = append(best, v)
+				}
+			}
+		}
+	}
+	if bestW < 0 {
+		return nil, 0
+	}
+	return append([]int(nil), best...), bestW
+}
+
+// DecideMES answers: is there a k-vertex subset with induced weight ≥ w?
+func DecideMES(g *MESInstance, k, w int) bool {
+	_, got := SolveMES(g, k)
+	return got >= w
+}
+
+// ReduceMESToTED builds the Theorem 1 instance: an empty root with one
+// child per MES vertex; for every edge (u,v) of weight w, w fresh elements
+// are added to both u's and v's nodes. Keeping vertex set S in the upper
+// subtree preserves exactly the induced edge weight of S as duplicates, so
+//
+//	MES has a k-set of weight ≥ W
+//	⇔ TED has a cut into (N−k+1) subtrees with ≥ W duplicates.
+func ReduceMESToTED(g *MESInstance) *TEDInstance {
+	in := &TEDInstance{
+		Parent: make([]int, g.N+1),
+		Elems:  make([][]int, g.N+1),
+	}
+	in.Parent[0] = -1
+	for v := 1; v <= g.N; v++ {
+		in.Parent[v] = 0
+	}
+	next := 0
+	for _, e := range g.Edges {
+		for i := 0; i < e.Weight; i++ {
+			in.Elems[e.U+1] = append(in.Elems[e.U+1], next)
+			in.Elems[e.V+1] = append(in.Elems[e.V+1], next)
+			next++
+		}
+	}
+	return in
+}
+
+// TEDParamsFor translates MES parameters (k, W) into the equivalent TED
+// parameters (subtrees, duplicates) under ReduceMESToTED.
+func TEDParamsFor(g *MESInstance, k, w int) (subtrees, dups int) {
+	return g.N - k + 1, w
+}

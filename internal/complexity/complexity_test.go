@@ -1,0 +1,248 @@
+package complexity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bionav/internal/rng"
+)
+
+// paperExample builds a small TED instance with an obvious best grouping:
+// nodes 1 and 2 share elements, node 3 is disjoint.
+func paperExample() *TEDInstance {
+	return &TEDInstance{
+		Parent: []int{-1, 0, 1, 0},
+		Elems: [][]int{
+			{},           // root
+			{1, 2, 3},    // node 1
+			{1, 2, 4},    // node 2 (child of 1; shares 1,2)
+			{5, 6, 7, 8}, // node 3
+		},
+	}
+}
+
+func TestTEDValidate(t *testing.T) {
+	if err := paperExample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &TEDInstance{Parent: []int{-1, 2}, Elems: [][]int{{}, {}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("forward parent accepted")
+	}
+	if err := (&TEDInstance{}).Validate(); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	root := &TEDInstance{Parent: []int{0}, Elems: [][]int{{}}}
+	if err := root.Validate(); err == nil {
+		t.Fatal("bad root parent accepted")
+	}
+}
+
+func TestDuplicateCounting(t *testing.T) {
+	in := paperExample()
+	// Whole tree: elements 1,2 twice → 2 duplicates.
+	full := uint64(1)<<uint(in.n()) - 1
+	if d := in.duplicatesIn(full); d != 2 {
+		t.Fatalf("duplicatesIn(full) = %d, want 2", d)
+	}
+	// Subtree {1,2}: also 2 duplicates.
+	if d := in.duplicatesIn(in.subtreeMask(1)); d != 2 {
+		t.Fatalf("duplicatesIn(subtree 1) = %d, want 2", d)
+	}
+	// Repeated element within one node counts t-1.
+	rep := &TEDInstance{Parent: []int{-1}, Elems: [][]int{{9, 9, 9}}}
+	if d := rep.duplicatesIn(1); d != 2 {
+		t.Fatalf("triple element duplicates = %d, want 2", d)
+	}
+}
+
+func TestSolveTEDKeepsSharersTogether(t *testing.T) {
+	in := paperExample()
+	// Two subtrees: best cut separates node 3 (or keeps 1,2 together some
+	// other way); duplicates must stay 2.
+	sol, ok := SolveTED(in, 2)
+	if !ok {
+		t.Fatal("no solution")
+	}
+	if sol.Duplicates != 2 {
+		t.Fatalf("duplicates = %d, want 2 (cut %v)", sol.Duplicates, sol.Cut)
+	}
+	// Three subtrees: cutting both node 2 and node 3 splits the sharers:
+	// the only way to keep 2 duplicates is cutting {1,3} (subtree {1,2}
+	// lowered together).
+	sol3, ok := SolveTED(in, 3)
+	if !ok {
+		t.Fatal("no 3-subtree solution")
+	}
+	if sol3.Duplicates != 2 {
+		t.Fatalf("3-subtree duplicates = %d (cut %v)", sol3.Duplicates, sol3.Cut)
+	}
+	if !DecideTED(in, 3, 2) || DecideTED(in, 3, 3) {
+		t.Fatal("DecideTED thresholds wrong")
+	}
+}
+
+func TestSolveTEDImpossibleCount(t *testing.T) {
+	in := paperExample()
+	if _, ok := SolveTED(in, 10); ok {
+		t.Fatal("found cut with more subtrees than nodes")
+	}
+}
+
+func TestExhaustiveCostConsistency(t *testing.T) {
+	in := paperExample()
+	// Cutting node 3 only: subtrees {root,1,2} (unique 4) and {3} (unique
+	// 4); cost = 2 + (4+4)/2 = 6.
+	got := in.ExhaustiveCost([]int{3})
+	if got != 6 {
+		t.Fatalf("ExhaustiveCost = %v, want 6", got)
+	}
+}
+
+// TestDuplicateMaximizationMinimizesCost verifies the paper's §V argument:
+// for a fixed subtree count m, the cut maximizing internal duplicates is
+// exactly the cut minimizing the TOPDOWN-EXHAUSTIVE expected cost, because
+// cost = m + (Σ elements − internal duplicates)/m and Σ elements is fixed.
+func TestDuplicateMaximizationMinimizesCost(t *testing.T) {
+	src := rng.New(5150)
+	for trial := 0; trial < 40; trial++ {
+		in := randomTED(src, 2+src.Intn(6), 8)
+		cuts := in.validCuts()
+		byCount := map[int][][]int{}
+		for _, c := range cuts {
+			byCount[len(c)+1] = append(byCount[len(c)+1], c)
+		}
+		for m, group := range byCount {
+			bestDup, bestCost := -1, 0.0
+			var dupCut, costCut []int
+			for _, c := range group {
+				if d := in.evaluate(c).Duplicates; d > bestDup {
+					bestDup, dupCut = d, c
+				}
+				if cost := in.ExhaustiveCost(c); costCut == nil || cost < bestCost {
+					bestCost, costCut = cost, c
+				}
+			}
+			// The argmax-duplicates cut must achieve the minimum cost
+			// (ties allowed).
+			if got := in.ExhaustiveCost(dupCut); got > bestCost+1e-9 {
+				t.Fatalf("trial %d m=%d: max-dup cut %v costs %v > min %v (cut %v)",
+					trial, m, dupCut, got, bestCost, costCut)
+			}
+		}
+	}
+}
+
+func randomTED(src *rng.Source, n, universe int) *TEDInstance {
+	in := &TEDInstance{Parent: make([]int, n), Elems: make([][]int, n)}
+	in.Parent[0] = -1
+	for i := 1; i < n; i++ {
+		in.Parent[i] = src.Intn(i)
+	}
+	for i := 0; i < n; i++ {
+		k := src.Intn(5)
+		for j := 0; j < k; j++ {
+			in.Elems[i] = append(in.Elems[i], src.Intn(universe))
+		}
+	}
+	return in
+}
+
+func randomMES(src *rng.Source, n, maxW int) *MESInstance {
+	g := &MESInstance{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Intn(2) == 0 {
+				g.Edges = append(g.Edges, WeightedEdge{U: u, V: v, Weight: 1 + src.Intn(maxW)})
+			}
+		}
+	}
+	return g
+}
+
+func TestMESValidateAndSolve(t *testing.T) {
+	// Triangle with a pendant: best 2-subset is the heaviest edge.
+	g := &MESInstance{N: 4, Edges: []WeightedEdge{
+		{0, 1, 5}, {1, 2, 3}, {0, 2, 1}, {2, 3, 10},
+	}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set, w := SolveMES(g, 2)
+	if w != 10 || len(set) != 2 || set[0] != 2 || set[1] != 3 {
+		t.Fatalf("SolveMES(2) = %v weight %d", set, w)
+	}
+	// Best 3-subset: {0,1,2} = 9 vs {1,2,3} = 13 vs {0,2,3} = 11.
+	if _, w := SolveMES(g, 3); w != 13 {
+		t.Fatalf("SolveMES(3) weight = %d, want 13", w)
+	}
+	if !DecideMES(g, 2, 10) || DecideMES(g, 2, 11) {
+		t.Fatal("DecideMES thresholds wrong")
+	}
+	if set, w := SolveMES(g, 0); w != 0 || len(set) != 0 {
+		t.Fatalf("SolveMES(0) = %v, %d", set, w)
+	}
+
+	bad := &MESInstance{N: 2, Edges: []WeightedEdge{{0, 0, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+// TestTheorem1ReductionPreservesOptima is the machine-checked core of §V:
+// on every random small MES instance, the optimum of the reduced TED
+// instance (with the translated parameters) equals the MES optimum.
+func TestTheorem1ReductionPreservesOptima(t *testing.T) {
+	src := rng.New(1969)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + src.Intn(5)
+		g := randomMES(src, n, 4)
+		in := ReduceMESToTED(g)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: reduced instance invalid: %v", trial, err)
+		}
+		for k := 1; k <= n; k++ {
+			_, wantW := SolveMES(g, k)
+			subtrees, _ := TEDParamsFor(g, k, wantW)
+			sol, ok := SolveTED(in, subtrees)
+			if !ok {
+				t.Fatalf("trial %d k=%d: no TED solution with %d subtrees", trial, k, subtrees)
+			}
+			if sol.Duplicates != wantW {
+				t.Fatalf("trial %d k=%d: TED optimum %d != MES optimum %d",
+					trial, k, sol.Duplicates, wantW)
+			}
+		}
+	}
+}
+
+// TestTheorem1DecisionEquivalence checks the ⇔ of the decision versions
+// with arbitrary thresholds, not just at the optimum.
+func TestTheorem1DecisionEquivalence(t *testing.T) {
+	src := rng.New(777)
+	err := quick.Check(func(seed uint32, kRaw, wRaw uint8) bool {
+		g := randomMES(rng.New(uint64(seed)), 2+int(seed%4), 3)
+		k := 1 + int(kRaw)%g.N
+		w := int(wRaw) % 12
+		subtrees, dups := TEDParamsFor(g, k, w)
+		return DecideMES(g, k, w) == DecideTED(ReduceMESToTED(g), subtrees, dups)
+	}, &quick.Config{MaxCount: 120, Rand: nil})
+	_ = src
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalExhaustiveCut(t *testing.T) {
+	in := paperExample()
+	cut, cost := OptimalExhaustiveCut(in)
+	if cut == nil {
+		t.Fatal("no cut")
+	}
+	// Exhaustive check against all cuts.
+	for _, c := range in.validCuts() {
+		if in.ExhaustiveCost(c) < cost-1e-9 {
+			t.Fatalf("cut %v cheaper than reported optimum %v", c, cut)
+		}
+	}
+}

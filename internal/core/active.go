@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bionav/internal/navtree"
+)
+
+// Edge is a navigation-tree edge, identified by its endpoints. A set of
+// Edges forms the EdgeCut of an EXPAND action.
+type Edge struct {
+	Parent navtree.NodeID
+	Child  navtree.NodeID
+}
+
+// ActiveTree is the navigation tree annotated with component sets I(n)
+// (Definition 4). Every node belongs to exactly one component; component
+// roots are the nodes visible in the interface. The active tree is closed
+// under the EdgeCut operation and supports BACKTRACK via an undo stack.
+type ActiveTree struct {
+	nav    *navtree.Tree
+	compOf []navtree.NodeID // node → root of its component
+
+	bits      []bitset  // per node: citations attached to it, as a bitset
+	scores    []float64 // per node: s(n) = |res(n)| / cnt(n)
+	sumScores float64
+
+	undo [][]navtree.NodeID // snapshots of compOf for BACKTRACK
+}
+
+// NewActiveTree converts a navigation tree into its initial active tree:
+// a single component rooted at the navigation root containing every node.
+func NewActiveTree(nav *navtree.Tree) *ActiveTree {
+	n := nav.Len()
+	at := &ActiveTree{
+		nav:    nav,
+		compOf: make([]navtree.NodeID, n),
+		bits:   make([]bitset, n),
+		scores: make([]float64, n),
+	}
+	nbits := nav.DistinctTotal()
+	for i := 0; i < n; i++ {
+		at.compOf[i] = nav.Root()
+		b := newBitset(nbits)
+		for _, cid := range nav.Results(i) {
+			if idx, ok := nav.ResultIndex(cid); ok {
+				b.set(idx)
+			}
+		}
+		at.bits[i] = b
+		if cnt := nav.GlobalCount(i); cnt > 0 {
+			at.scores[i] = float64(nav.NumResults(i)) / float64(cnt)
+		}
+		at.sumScores += at.scores[i]
+	}
+	return at
+}
+
+// Nav returns the underlying navigation tree.
+func (at *ActiveTree) Nav() *navtree.Tree { return at.nav }
+
+// ComponentOf returns the root of the component containing node.
+func (at *ActiveTree) ComponentOf(node navtree.NodeID) navtree.NodeID {
+	return at.compOf[node]
+}
+
+// IsVisible reports whether node is a component root (shown on screen).
+func (at *ActiveTree) IsVisible(node navtree.NodeID) bool {
+	return at.compOf[node] == node
+}
+
+// VisibleRoots returns every component root in ascending node order.
+func (at *ActiveTree) VisibleRoots() []navtree.NodeID {
+	var out []navtree.NodeID
+	for i, r := range at.compOf {
+		if navtree.NodeID(i) == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Members returns the nodes of the component rooted at root, in ascending
+// node order (which is a pre-order of the component subtree). It exploits
+// the component invariant: once a descendant belongs to a different
+// component, its entire subtree does too, so the walk can prune there.
+func (at *ActiveTree) Members(root navtree.NodeID) []navtree.NodeID {
+	if at.compOf[root] != root {
+		return nil
+	}
+	var out []navtree.NodeID
+	at.nav.PreOrder(root, func(n navtree.NodeID) bool {
+		if at.compOf[n] != root {
+			return false
+		}
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// ComponentSize reports |I(root)| without materializing the member list.
+func (at *ActiveTree) ComponentSize(root navtree.NodeID) int {
+	n := 0
+	at.nav.PreOrder(root, func(m navtree.NodeID) bool {
+		if at.compOf[m] != root {
+			return false
+		}
+		n++
+		return true
+	})
+	return n
+}
+
+// Distinct returns |L(I(root))|: the number of distinct citations attached
+// to the component rooted at root — the count shown next to the concept in
+// the interface (Definition 5).
+func (at *ActiveTree) Distinct(root navtree.NodeID) int {
+	u := newBitset(at.nav.DistinctTotal())
+	at.nav.PreOrder(root, func(n navtree.NodeID) bool {
+		if at.compOf[n] != root {
+			return false
+		}
+		u.orInto(at.bits[n])
+		return true
+	})
+	return u.count()
+}
+
+// DistinctUnder returns the number of distinct citations attached to the
+// portion of root's component that lies in the subtree of n — the count a
+// lower component would display if the edge above n were cut.
+func (at *ActiveTree) DistinctUnder(root, n navtree.NodeID) int {
+	u := newBitset(at.nav.DistinctTotal())
+	at.nav.PreOrder(n, func(m navtree.NodeID) bool {
+		if at.compOf[m] != root {
+			return false
+		}
+		u.orInto(at.bits[m])
+		return true
+	})
+	return u.count()
+}
+
+// ExploreProb returns pX(I(root)) of §IV: the sum of normalized
+// selectivities of the component's members. For the initial active tree
+// this is exactly 1.
+func (at *ActiveTree) ExploreProb(root navtree.NodeID) float64 {
+	if at.sumScores == 0 {
+		return 0
+	}
+	s := 0.0
+	at.nav.PreOrder(root, func(n navtree.NodeID) bool {
+		if at.compOf[n] != root {
+			return false
+		}
+		s += at.scores[n]
+		return true
+	})
+	p := s / at.sumScores
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// nodeScore exposes s(n) for policy construction.
+func (at *ActiveTree) nodeScore(n navtree.NodeID) float64 { return at.scores[n] }
+
+// nodeBits exposes the citation bitset of n for policy construction.
+func (at *ActiveTree) nodeBits(n navtree.NodeID) bitset { return at.bits[n] }
+
+// SumScores returns the active-tree normalizer Σ s(m).
+func (at *ActiveTree) SumScores() float64 { return at.sumScores }
+
+// Expand applies an EdgeCut to the component rooted at root. Each cut edge
+// detaches the child's portion of the component as a new lower component;
+// the remainder stays with root as the upper component. Expand returns the
+// roots of the new lower components. It fails if the cut is invalid: an
+// edge outside the component, a non-tree edge, or two edges on one
+// root-to-leaf path (Definition 3).
+func (at *ActiveTree) Expand(root navtree.NodeID, cut []Edge) ([]navtree.NodeID, error) {
+	if at.compOf[root] != root {
+		return nil, fmt.Errorf("core: expand: node %d is not a component root", root)
+	}
+	if len(cut) == 0 {
+		return nil, fmt.Errorf("core: expand: empty EdgeCut")
+	}
+	for _, e := range cut {
+		if e.Child <= 0 || e.Child >= at.nav.Len() || at.nav.Parent(e.Child) != e.Parent {
+			return nil, fmt.Errorf("core: expand: (%d→%d) is not a navigation-tree edge", e.Parent, e.Child)
+		}
+		if at.compOf[e.Child] != root || e.Child == root {
+			return nil, fmt.Errorf("core: expand: edge (%d→%d) not inside component %d", e.Parent, e.Child, root)
+		}
+	}
+	// Validity (Definition 3): no two cut edges on a common root-leaf path
+	// ⇔ no cut child is an ancestor of another cut child.
+	for i := range cut {
+		for j := range cut {
+			if i != j && at.nav.IsAncestor(cut[i].Child, cut[j].Child) {
+				return nil, fmt.Errorf("core: expand: invalid EdgeCut: %d is an ancestor of %d",
+					cut[i].Child, cut[j].Child)
+			}
+		}
+	}
+
+	at.pushUndo()
+	lower := make([]navtree.NodeID, 0, len(cut))
+	for _, e := range cut {
+		at.nav.PreOrder(e.Child, func(n navtree.NodeID) bool {
+			if at.compOf[n] != root {
+				return false
+			}
+			at.compOf[n] = e.Child
+			return true
+		})
+		lower = append(lower, e.Child)
+	}
+	sort.Ints(lower)
+	return lower, nil
+}
+
+// ExpandAll applies the static-navigation expansion: it cuts every edge
+// from root to its children within the component, revealing all children —
+// the behaviour of GoPubMed-style interfaces the paper compares against.
+func (at *ActiveTree) ExpandAll(root navtree.NodeID) ([]navtree.NodeID, error) {
+	var cut []Edge
+	for _, c := range at.nav.Children(root) {
+		if at.compOf[c] == root {
+			cut = append(cut, Edge{Parent: root, Child: c})
+		}
+	}
+	if len(cut) == 0 {
+		return nil, fmt.Errorf("core: expand-all: component %d has no internal edges", root)
+	}
+	return at.Expand(root, cut)
+}
+
+// CanBacktrack reports whether an EXPAND can be undone.
+func (at *ActiveTree) CanBacktrack() bool { return len(at.undo) > 0 }
+
+// Backtrack undoes the most recent EXPAND (the BACKTRACK action of §III).
+func (at *ActiveTree) Backtrack() error {
+	if len(at.undo) == 0 {
+		return fmt.Errorf("core: backtrack: nothing to undo")
+	}
+	at.compOf = at.undo[len(at.undo)-1]
+	at.undo = at.undo[:len(at.undo)-1]
+	return nil
+}
+
+func (at *ActiveTree) pushUndo() {
+	snap := make([]navtree.NodeID, len(at.compOf))
+	copy(snap, at.compOf)
+	at.undo = append(at.undo, snap)
+}
+
+// Reset collapses the active tree back to its initial single component and
+// clears the undo history.
+func (at *ActiveTree) Reset() {
+	for i := range at.compOf {
+		at.compOf[i] = at.nav.Root()
+	}
+	at.undo = nil
+}
+
+// VisibleNode is one row of the active-tree visualization (Definition 5).
+type VisibleNode struct {
+	Node       navtree.NodeID
+	Label      string
+	Count      int     // distinct citations in the node's component
+	Explore    float64 // pX(I(n)), the ranking key
+	Expandable bool    // true iff the component has more than one node
+	Parent     navtree.NodeID
+	Children   []navtree.NodeID // visible children, ranked
+}
+
+// Visualize returns the embedded tree the user sees: one entry per
+// component root, each child list ranked by EXPLORE probability (the
+// paper ranks revealed concepts by estimated relevance to the query),
+// with count ties broken by label. The map is keyed by node ID; the root
+// entry has Parent == -1.
+func (at *ActiveTree) Visualize() map[navtree.NodeID]*VisibleNode {
+	vis := make(map[navtree.NodeID]*VisibleNode)
+	for _, r := range at.VisibleRoots() {
+		vis[r] = &VisibleNode{
+			Node:       r,
+			Label:      at.nav.Label(r),
+			Count:      at.Distinct(r),
+			Explore:    at.ExploreProb(r),
+			Expandable: at.ComponentSize(r) > 1,
+			Parent:     -1,
+		}
+	}
+	for id, v := range vis {
+		if id == at.nav.Root() {
+			continue
+		}
+		p := at.compOf[at.nav.Parent(id)]
+		v.Parent = p
+		vis[p].Children = append(vis[p].Children, id)
+	}
+	for _, v := range vis {
+		children := v.Children
+		sort.Slice(children, func(i, j int) bool {
+			a, b := vis[children[i]], vis[children[j]]
+			if a.Explore != b.Explore {
+				return a.Explore > b.Explore
+			}
+			if a.Count != b.Count {
+				return a.Count > b.Count
+			}
+			return a.Label < b.Label
+		})
+	}
+	return vis
+}
+
+// CheckInvariants verifies the active-tree invariants of Definition 4:
+// components partition the node set, each component is a connected subtree
+// containing its root, and every component root's parent (if any) lies in
+// a different component. Property tests call this after every operation.
+func (at *ActiveTree) CheckInvariants() error {
+	seen := 0
+	for _, r := range at.VisibleRoots() {
+		m := at.Members(r)
+		if len(m) == 0 || m[0] != r {
+			return fmt.Errorf("core: component %d does not contain its root first: %v", r, m)
+		}
+		seen += len(m)
+		for _, n := range m {
+			if n != r && at.compOf[at.nav.Parent(n)] != r {
+				return fmt.Errorf("core: component %d member %d disconnected from root", r, n)
+			}
+		}
+		if r != at.nav.Root() && at.compOf[at.nav.Parent(r)] == r {
+			return fmt.Errorf("core: component root %d's parent inside own component", r)
+		}
+	}
+	if seen != at.nav.Len() {
+		return fmt.Errorf("core: components cover %d of %d nodes", seen, at.nav.Len())
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package core implements BioNav's primary contribution: the active tree
+// with its I(n) component sets and EdgeCut operation (Definitions 3–5), the
+// TOPDOWN navigation cost model with EXPLORE/EXPAND probability estimation
+// (§III–IV), the exponential Opt-EdgeCut dynamic program, the k-partition
+// tree reduction, and the Heuristic-ReducedOpt expansion policy (§VI),
+// plus the static-navigation baselines the paper compares against (§VIII).
+package core
+
+import "math/bits"
+
+// bitset is a fixed-width bitmap over the distinct citations of one query
+// result. Distinct counts throughout the cost model are popcounts of unions
+// of these bitsets, which keeps Opt-EdgeCut's inner loop allocation-free.
+type bitset []uint64
+
+func newBitset(nbits int) bitset {
+	return make(bitset, (nbits+63)/64)
+}
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// orInto ORs src into b (same width).
+func (b bitset) orInto(src bitset) {
+	for i, w := range src {
+		b[i] |= w
+	}
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}

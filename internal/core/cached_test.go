@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"bionav/internal/navtree"
+)
+
+func TestCachedHeuristicFirstCutMatchesPlain(t *testing.T) {
+	at1 := bigActiveTree(t, 71, 200)
+	at2 := bigActiveTree(t, 71, 200)
+	plain := NewHeuristicReducedOpt()
+	cached := NewCachedHeuristic()
+
+	c1, err := plain.ChooseCut(at1, at1.Nav().Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cached.ChooseCut(at2, at2.Nav().Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("first cuts differ: %v vs %v", c1, c2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("first cuts differ: %v vs %v", c1, c2)
+		}
+	}
+	if cached.Recomputes != 1 {
+		t.Fatalf("Recomputes = %d", cached.Recomputes)
+	}
+}
+
+// TestCachedHeuristicReusesPlans drives a navigation until an EXPAND is
+// answered from a cached plan, then verifies the cached cut is valid and
+// applicable. (The very first cuts often carve single-supernode components,
+// which have no reusable plan; cache hits concentrate in the deeper
+// identity-reduced regime.)
+func TestCachedHeuristicReusesPlans(t *testing.T) {
+	at := bigActiveTree(t, 72, 250)
+	cached := NewCachedHeuristic()
+
+	hit := false
+	for step := 0; step < 10000 && !hit; step++ {
+		var target navtree.NodeID = -1
+		for _, r := range at.VisibleRoots() {
+			if at.ComponentSize(r) > 1 {
+				target = r
+				break
+			}
+		}
+		if target == -1 {
+			break
+		}
+		wasCached := cached.plans[target] != nil
+		before := cached.Recomputes
+		cut, err := cached.ChooseCut(at, target)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if wasCached {
+			hit = true
+			if cached.Recomputes != before {
+				t.Fatalf("step %d: cached plan triggered a recompute", step)
+			}
+		}
+		if _, err := at.Expand(target, cut); err != nil {
+			t.Fatalf("step %d: cached cut not applicable: %v", step, err)
+		}
+		if err := at.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hit {
+		t.Fatal("no EXPAND was ever answered from the cache")
+	}
+}
+
+func TestCachedHeuristicNavigationTerminates(t *testing.T) {
+	at := bigActiveTree(t, 73, 200)
+	cached := NewCachedHeuristic()
+	for step := 0; step < 10000; step++ {
+		var target navtree.NodeID = -1
+		for _, r := range at.VisibleRoots() {
+			if at.ComponentSize(r) > 1 {
+				target = r
+				break
+			}
+		}
+		if target == -1 {
+			if err := at.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("fully expanded after %d steps with %d recomputes", step, cached.Recomputes)
+			return
+		}
+		cut, err := cached.ChooseCut(at, target)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if _, err := at.Expand(target, cut); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	t.Fatal("did not terminate")
+}
+
+func TestCachedHeuristicDetectsStaleness(t *testing.T) {
+	at := bigActiveTree(t, 74, 200)
+	cached := NewCachedHeuristic()
+	root := at.Nav().Root()
+	cut, err := cached.ChooseCut(at, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := at.Expand(root, cut); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the tree behind the policy's back: BACKTRACK restores the
+	// pre-cut component, so the upper plan's size no longer matches.
+	if err := at.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	before := cached.Recomputes
+	cut2, err := cached.ChooseCut(at, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Recomputes != before+1 {
+		t.Fatalf("stale plan was reused (recomputes %d)", cached.Recomputes)
+	}
+	if _, err := at.Expand(root, cut2); err != nil {
+		t.Fatalf("fresh cut not applicable: %v", err)
+	}
+}
+
+func TestCachedHeuristicCheaperPerExpand(t *testing.T) {
+	// The point of the cache: across a whole navigation, fresh
+	// reduce+optimize runs happen far less often than EXPANDs.
+	at := bigActiveTree(t, 75, 250)
+	cached := NewCachedHeuristic()
+	expands := 0
+	for step := 0; step < 10000; step++ {
+		var target navtree.NodeID = -1
+		for _, r := range at.VisibleRoots() {
+			if at.ComponentSize(r) > 1 {
+				target = r
+				break
+			}
+		}
+		if target == -1 {
+			break
+		}
+		cut, err := cached.ChooseCut(at, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := at.Expand(target, cut); err != nil {
+			t.Fatal(err)
+		}
+		expands++
+	}
+	if cached.Recomputes >= expands {
+		t.Fatalf("cache ineffective: %d recomputes for %d EXPANDs", cached.Recomputes, expands)
+	}
+	t.Logf("%d EXPANDs, %d fresh computations (%.0f%% cached)",
+		expands, cached.Recomputes, 100*(1-float64(cached.Recomputes)/float64(expands)))
+}
+
+func TestCachedHeuristicIsolatesTrees(t *testing.T) {
+	// Reusing one policy across two different navigations must never leak
+	// plans between them, even though node IDs collide.
+	at1 := bigActiveTree(t, 76, 150)
+	at2 := bigActiveTree(t, 76, 150) // identical shape → identical IDs
+	cached := NewCachedHeuristic()
+	cut1, err := cached.ChooseCut(at1, at1.Nav().Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := at1.Expand(at1.Nav().Root(), cut1); err != nil {
+		t.Fatal(err)
+	}
+	// A cut for the fresh at2 root must recompute, not reuse at1's plans.
+	before := cached.Recomputes
+	cut2, err := cached.ChooseCut(at2, at2.Nav().Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Recomputes != before+1 {
+		t.Fatalf("plan leaked across trees (recomputes %d)", cached.Recomputes)
+	}
+	if _, err := at2.Expand(at2.Nav().Root(), cut2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"bionav/internal/navtree"
+)
+
+// compTree is the small tree Opt-EdgeCut runs on. Its nodes are either the
+// actual members of a component subtree (identity construction) or the
+// supernodes produced by the k-partition reduction (§VI-B). Node 0 is the
+// root; Parent[i] < i for all i > 0 so iteration in index order is a valid
+// pre-order.
+type compTree struct {
+	Parent   []int
+	Children [][]int
+	Bits     []bitset  // union of member citation bitsets
+	Own      []int     // popcount(Bits[i]): distinct citations inside node i
+	Score    []float64 // sum of member selectivity scores
+	NavEdge  []Edge    // for i > 0: the navigation-tree edge whose cut detaches node i
+	Sum      float64   // the active tree's Σ s(m) normalizer
+	descMask []uint64  // bitmask of each node's subtree (including itself)
+}
+
+// maxOptNodes bounds the trees Opt-EdgeCut accepts. The DP enumerates
+// ancestor-closed subsets as bitmasks, so this must stay below 64; the
+// practical real-time limit the paper reports is ~10.
+const maxOptNodes = 24
+
+// identityCompTree builds a compTree with one node per member of the
+// component rooted at root. members must be at.Members(root).
+func identityCompTree(at *ActiveTree, root navtree.NodeID, members []navtree.NodeID) (*compTree, error) {
+	if len(members) > maxOptNodes {
+		return nil, fmt.Errorf("core: component of %d nodes exceeds Opt-EdgeCut limit %d", len(members), maxOptNodes)
+	}
+	idx := make(map[navtree.NodeID]int, len(members))
+	for i, m := range members {
+		idx[m] = i
+	}
+	ct := newCompTree(len(members), at.SumScores())
+	for i, m := range members {
+		ct.Bits[i] = at.nodeBits(m)
+		ct.Own[i] = ct.Bits[i].count()
+		ct.Score[i] = at.nodeScore(m)
+		if i == 0 {
+			ct.Parent[i] = -1
+			continue
+		}
+		p, ok := idx[at.nav.Parent(m)]
+		if !ok {
+			return nil, fmt.Errorf("core: member %d has parent outside component", m)
+		}
+		ct.Parent[i] = p
+		ct.Children[p] = append(ct.Children[p], i)
+		ct.NavEdge[i] = Edge{Parent: at.nav.Parent(m), Child: m}
+	}
+	ct.computeDescMasks()
+	return ct, nil
+}
+
+// partitionCompTree builds the reduced supernode tree T_R from a
+// k-partitioning of the component. parts must be ordered with the partition
+// containing the component root first and partition roots ascending (the
+// order kPartition produces), which guarantees Parent[i] < i.
+func partitionCompTree(at *ActiveTree, parts []partition) (*compTree, error) {
+	if len(parts) > maxOptNodes {
+		return nil, fmt.Errorf("core: %d partitions exceed Opt-EdgeCut limit %d", len(parts), maxOptNodes)
+	}
+	// Map every member node to its partition index.
+	partOf := make(map[navtree.NodeID]int)
+	for i, p := range parts {
+		for _, m := range p.members {
+			partOf[m] = i
+		}
+	}
+	ct := newCompTree(len(parts), at.SumScores())
+	nbits := at.nav.DistinctTotal()
+	for i, p := range parts {
+		b := newBitset(nbits)
+		score := 0.0
+		for _, m := range p.members {
+			b.orInto(at.nodeBits(m))
+			score += at.nodeScore(m)
+		}
+		ct.Bits[i] = b
+		ct.Own[i] = b.count()
+		ct.Score[i] = score
+		if i == 0 {
+			ct.Parent[i] = -1
+			continue
+		}
+		navParent := at.nav.Parent(p.root)
+		pi, ok := partOf[navParent]
+		if !ok {
+			return nil, fmt.Errorf("core: partition %d root %d has parent outside component", i, p.root)
+		}
+		if pi >= i {
+			return nil, fmt.Errorf("core: partition order violated: parent %d !< child %d", pi, i)
+		}
+		ct.Parent[i] = pi
+		ct.Children[pi] = append(ct.Children[pi], i)
+		ct.NavEdge[i] = Edge{Parent: navParent, Child: p.root}
+	}
+	ct.computeDescMasks()
+	return ct, nil
+}
+
+func newCompTree(n int, sum float64) *compTree {
+	return &compTree{
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		Bits:     make([]bitset, n),
+		Own:      make([]int, n),
+		Score:    make([]float64, n),
+		NavEdge:  make([]Edge, n),
+		Sum:      sum,
+		descMask: make([]uint64, n),
+	}
+}
+
+func (ct *compTree) len() int { return len(ct.Parent) }
+
+// computeDescMasks fills descMask bottom-up (children have larger indexes).
+func (ct *compTree) computeDescMasks() {
+	for i := ct.len() - 1; i >= 0; i-- {
+		m := uint64(1) << uint(i)
+		for _, c := range ct.Children[i] {
+			m |= ct.descMask[c]
+		}
+		ct.descMask[i] = m
+	}
+}
+
+// exploreProb returns pX for the set of compTree nodes in mask.
+func (ct *compTree) exploreProb(mask uint64) float64 {
+	if ct.Sum == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s += ct.Score[i]
+		}
+	}
+	p := s / ct.Sum
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// distinct returns |L| for the union of the nodes in mask.
+func (ct *compTree) distinct(mask uint64, scratch bitset) int {
+	scratch.clear()
+	for i := 0; i < ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			scratch.orInto(ct.Bits[i])
+		}
+	}
+	return scratch.count()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/navtree"
+)
+
+// benchTree builds a prothymosin-scale active tree once per benchmark run.
+func benchTree(b *testing.B) *ActiveTree {
+	b.Helper()
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 91, Nodes: 8000, TopLevel: 112, MaxDepth: 11})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 92, Citations: 313, MeanConcepts: 90, FirstID: 1, YearLo: 1990, YearHi: 2008,
+	})
+	nav := navtree.Build(corp, corp.IDs())
+	return NewActiveTree(nav)
+}
+
+func BenchmarkNewActiveTree(b *testing.B) {
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 91, Nodes: 8000, TopLevel: 112, MaxDepth: 11})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 92, Citations: 313, MeanConcepts: 90, FirstID: 1, YearLo: 1990, YearHi: 2008,
+	})
+	nav := navtree.Build(corp, corp.IDs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewActiveTree(nav)
+	}
+}
+
+func BenchmarkDistinctRootComponent(b *testing.B) {
+	at := benchTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = at.Distinct(at.Nav().Root())
+	}
+}
+
+func BenchmarkKPartition(b *testing.B) {
+	at := benchTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := kPartition(at, at.Nav().Root(), 10)
+		if len(parts) == 0 {
+			b.Fatal("no partitions")
+		}
+	}
+}
+
+func BenchmarkHeuristicChooseCut(b *testing.B) {
+	at := benchTree(b)
+	pol := NewHeuristicReducedOpt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.ChooseCut(at, at.Nav().Root()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpandAndBacktrack(b *testing.B) {
+	at := benchTree(b)
+	pol := NewHeuristicReducedOpt()
+	cut, err := pol.ChooseCut(at, at.Nav().Root())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := at.Expand(at.Nav().Root(), cut); err != nil {
+			b.Fatal(err)
+		}
+		if err := at.Backtrack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVisualize(b *testing.B) {
+	at := benchTree(b)
+	pol := NewHeuristicReducedOpt()
+	for step := 0; step < 3; step++ {
+		root := at.Nav().Root()
+		if at.ComponentSize(root) < 2 {
+			break
+		}
+		cut, err := pol.ChooseCut(at, root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := at.Expand(root, cut); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = at.Visualize()
+	}
+}

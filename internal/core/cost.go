@@ -1,0 +1,79 @@
+package core
+
+import "math"
+
+// CostModel carries the TOPDOWN cost-model constants of §III–IV. Every
+// user-visible unit (an examined concept label, an EXPAND click, a listed
+// citation) costs 1; K is the EXPAND-click cost, which the paper notes can
+// be raised to make each expansion reveal more concepts.
+type CostModel struct {
+	ExpandCost float64 // K: cost of pressing EXPAND (paper: 1)
+	Thi        int     // |L(I(n))| above which pE = 1 (paper: 50)
+	Tlo        int     // |L(I(n))| below which pE = 0 (paper: 10)
+	UseEntropy bool    // false disables the entropy term (ablation): pE steps at (Thi+Tlo)/2
+
+	// DiscountUpper selects how the upper component's continuation cost is
+	// weighted inside the expansion recursion. When false (the default and
+	// the behaviour that reproduces the paper's 3–5 concepts revealed per
+	// EXPAND), the user who chose to explore this component keeps paying
+	// for it until satisfied, so the upper remainder's cost enters
+	// unweighted; only the newly revealed lower components are discounted
+	// by their fresh EXPLORE probabilities. When true, the upper is also
+	// discounted by pX(upper), which makes lazy one-concept-at-a-time
+	// reveals optimal — kept as an ablation (see DESIGN.md §4).
+	DiscountUpper bool
+}
+
+// DefaultCostModel returns the constants used in the paper's experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{ExpandCost: 1, Thi: 50, Tlo: 10, UseEntropy: true}
+}
+
+// expandProb computes pE for a component with the given per-part distinct
+// counts (own[i] = distinct citations attached inside part i), total
+// distinct count L, and part count — the §IV estimator:
+//
+//	pE = 0 for singletons; 1 if L > Thi; 0 if L < Tlo; otherwise the
+//	component's citation-distribution entropy normalized by the uniform,
+//	duplicate-free maximum.
+func (m CostModel) expandProb(own []int, L int, parts int) float64 {
+	if parts <= 1 || L == 0 {
+		return 0
+	}
+	if L > m.Thi {
+		return 1
+	}
+	if L < m.Tlo {
+		return 0
+	}
+	if !m.UseEntropy {
+		if 2*L >= m.Thi+m.Tlo {
+			return 1
+		}
+		return 0
+	}
+	h := 0.0
+	nonzero := 0
+	for _, o := range own {
+		if o == 0 {
+			continue
+		}
+		nonzero++
+		p := float64(o) / float64(L)
+		if p < 1 { // p == 1 contributes 0
+			h -= p * math.Log(p)
+		}
+	}
+	if nonzero <= 1 {
+		return 0
+	}
+	hMax := math.Log(float64(nonzero))
+	pe := h / hMax
+	if pe > 1 {
+		pe = 1
+	}
+	if pe < 0 {
+		pe = 0
+	}
+	return pe
+}

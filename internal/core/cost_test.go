@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandProbThresholds(t *testing.T) {
+	m := DefaultCostModel()
+	// Singleton components never expand.
+	if p := m.expandProb([]int{30}, 30, 1); p != 0 {
+		t.Errorf("singleton pE = %v", p)
+	}
+	// Above Thi: always expand.
+	if p := m.expandProb([]int{40, 40}, 60, 2); p != 1 {
+		t.Errorf("pE above Thi = %v, want 1", p)
+	}
+	// Below Tlo: never expand.
+	if p := m.expandProb([]int{3, 3}, 5, 2); p != 0 {
+		t.Errorf("pE below Tlo = %v, want 0", p)
+	}
+	// Empty component.
+	if p := m.expandProb(nil, 0, 0); p != 0 {
+		t.Errorf("pE of empty = %v", p)
+	}
+}
+
+func TestExpandProbEntropyBand(t *testing.T) {
+	m := DefaultCostModel()
+	// Uniform duplicate-free distribution maximizes entropy → pE near 1.
+	uniform := m.expandProb([]int{10, 10, 10}, 30, 3)
+	if uniform < 0.99 || uniform > 1 {
+		t.Errorf("uniform pE = %v, want ~1", uniform)
+	}
+	// Skewed distribution has lower entropy.
+	skewed := m.expandProb([]int{28, 1, 1}, 30, 3)
+	if skewed >= uniform {
+		t.Errorf("skewed pE %v not < uniform %v", skewed, uniform)
+	}
+	// One node holding everything: entropy 0.
+	if p := m.expandProb([]int{30, 0, 0}, 30, 3); p != 0 {
+		t.Errorf("degenerate pE = %v, want 0", p)
+	}
+}
+
+func TestExpandProbDuplicatesRaiseEntropyBoundedly(t *testing.T) {
+	m := DefaultCostModel()
+	// Heavy duplication: parts sum to 3×L. pE must stay within [0,1].
+	if p := m.expandProb([]int{30, 30, 30}, 30, 3); p < 0 || p > 1 {
+		t.Errorf("duplicated pE = %v out of [0,1]", p)
+	}
+}
+
+func TestExpandProbBoundsProperty(t *testing.T) {
+	m := DefaultCostModel()
+	err := quick.Check(func(raw []uint8, lRaw uint8) bool {
+		own := make([]int, len(raw))
+		max := 0
+		for i, v := range raw {
+			own[i] = int(v % 64)
+			if own[i] > max {
+				max = own[i]
+			}
+		}
+		L := max + int(lRaw%32) // L ≥ every own count
+		if L == 0 {
+			L = 1
+		}
+		p := m.expandProb(own, L, len(own))
+		return p >= 0 && p <= 1
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandProbEntropyAblation(t *testing.T) {
+	m := DefaultCostModel()
+	m.UseEntropy = false
+	// Step function at (Thi+Tlo)/2 = 30.
+	if p := m.expandProb([]int{20, 20}, 35, 2); p != 1 {
+		t.Errorf("step pE(35) = %v, want 1", p)
+	}
+	if p := m.expandProb([]int{10, 10}, 15, 2); p != 0 {
+		t.Errorf("step pE(15) = %v, want 0", p)
+	}
+}
+
+func TestDefaultCostModelMatchesPaper(t *testing.T) {
+	m := DefaultCostModel()
+	if m.ExpandCost != 1 || m.Thi != 50 || m.Tlo != 10 || !m.UseEntropy {
+		t.Fatalf("DefaultCostModel = %+v", m)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.set(i)
+	}
+	if b.count() != 5 {
+		t.Fatalf("count = %d", b.count())
+	}
+	if !b.has(129) || b.has(128) {
+		t.Fatal("has wrong")
+	}
+	c := b.clone()
+	c.set(1)
+	if b.has(1) {
+		t.Fatal("clone aliased")
+	}
+	u := newBitset(130)
+	u.orInto(b)
+	u.orInto(c)
+	if u.count() != 6 {
+		t.Fatalf("or count = %d", u.count())
+	}
+	u.clear()
+	if u.count() != 0 {
+		t.Fatal("clear failed")
+	}
+}

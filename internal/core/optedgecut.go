@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements Opt-EdgeCut (§VI-A): the exponential dynamic program
+// that computes the valid EdgeCut minimizing the expected TOPDOWN
+// navigation cost. Finding that cut is NP-complete (Theorem 1), so the
+// DP enumerates, for every reachable component state, all valid EdgeCuts —
+// feasible only for the small (reduced) trees Heuristic-ReducedOpt feeds it.
+//
+// A state is (r, mask): the component rooted at compTree node r whose
+// member set is mask (always ancestor-closed within subtree(r)). Its
+// expected exploration cost is
+//
+//	best(r, mask) = (1 − pE)·L + pE·bestCut(r, mask)
+//	bestCut(r, mask) = min over valid cuts C of
+//	    K + Σ_{v∈C} (1 + pX(S_v)·best(v, S_v)) + pX(U)·best(r, U)
+//
+// where L = |L(mask)|, S_v = mask ∩ subtree(v), U = the upper remainder,
+// and pX, pE are the §IV probability estimators. Each revealed concept
+// label costs 1 (the "1 +" term); re-examining the already-visible upper
+// root costs nothing.
+
+// maxCutsPerState caps cut enumeration so adversarial tree shapes fail
+// loudly instead of hanging.
+const maxCutsPerState = 1 << 18
+
+type stateKey struct {
+	r    int
+	mask uint64
+}
+
+type stateVal struct {
+	cost float64
+	cut  []int // argmin cut children; nil when SHOWRESULTS is terminal
+}
+
+type optimizer struct {
+	ct      *compTree
+	model   CostModel
+	memo    map[stateKey]stateVal
+	scratch bitset
+	err     error
+}
+
+// newOptimizer prepares a reusable DP instance over ct; its memo persists
+// across calls, which the CachedHeuristic policy exploits for subsequent
+// expansions of the same reduced tree (§VI-B).
+func newOptimizer(ct *compTree, model CostModel) *optimizer {
+	return &optimizer{
+		ct:      ct,
+		model:   model,
+		memo:    make(map[stateKey]stateVal),
+		scratch: newBitset(64 * len(ct.Bits[0])),
+	}
+}
+
+// cutFor returns the argmin cut for the component state (r, mask). The
+// user has already clicked EXPAND, so the cut is unconditional (not gated
+// by pE).
+func (o *optimizer) cutFor(r int, mask uint64) ([]int, float64, error) {
+	cost, cut := o.bestCut(r, mask)
+	if o.err != nil {
+		return nil, 0, o.err
+	}
+	if cut == nil {
+		return nil, 0, fmt.Errorf("core: no valid EdgeCut exists")
+	}
+	return cut, cost, nil
+}
+
+// optEdgeCut returns the best first EdgeCut for the whole compTree (as the
+// list of compTree nodes whose parent edge is cut) together with the
+// expected cost of the cut-rooted navigation. The tree must have ≥ 2 nodes.
+func optEdgeCut(ct *compTree, model CostModel) ([]int, float64, error) {
+	if ct.len() < 2 {
+		return nil, 0, fmt.Errorf("core: Opt-EdgeCut needs at least 2 nodes, got %d", ct.len())
+	}
+	return newOptimizer(ct, model).cutFor(0, ct.descMask[0])
+}
+
+// optExpectedCost evaluates the full expected TOPDOWN cost of a component
+// under optimal expansion; used by tests and ablations.
+func optExpectedCost(ct *compTree, model CostModel) (float64, error) {
+	o := &optimizer{
+		ct:      ct,
+		model:   model,
+		memo:    make(map[stateKey]stateVal),
+		scratch: newBitset(64 * len(ct.Bits[0])),
+	}
+	v := o.best(0, ct.descMask[0])
+	return v.cost, o.err
+}
+
+func (o *optimizer) best(r int, mask uint64) stateVal {
+	key := stateKey{r, mask}
+	if v, ok := o.memo[key]; ok {
+		return v
+	}
+	L := o.ct.distinct(mask, o.scratch)
+	own := make([]int, 0, bits.OnesCount64(mask))
+	for i := 0; i < o.ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			own = append(own, o.ct.Own[i])
+		}
+	}
+	pE := o.model.expandProb(own, L, len(own))
+	val := stateVal{cost: float64(L)}
+	if pE > 0 && bits.OnesCount64(mask) > 1 {
+		cutCost, cut := o.bestCut(r, mask)
+		if cut != nil {
+			val.cost = (1-pE)*float64(L) + pE*cutCost
+			val.cut = cut
+		}
+	}
+	o.memo[key] = val
+	return val
+}
+
+// bestCut returns the minimum expected cost over all valid non-empty
+// EdgeCuts of the state, and the argmin cut. Returns (0, nil) if no cut
+// exists (single-node component).
+func (o *optimizer) bestCut(r int, mask uint64) (float64, []int) {
+	cuts := o.enumerateCuts(r, mask)
+	if o.err != nil || len(cuts) == 0 {
+		return 0, nil
+	}
+	bestCost := 0.0
+	var bestCut []int
+	for _, cut := range cuts {
+		var loweredAll uint64
+		cost := o.model.ExpandCost
+		for _, v := range cut {
+			sv := o.ct.descMask[v] & mask
+			loweredAll |= sv
+			cost += 1 + o.ct.exploreProb(sv)*o.best(v, sv).cost
+		}
+		upper := mask &^ loweredAll
+		w := 1.0
+		if o.model.DiscountUpper {
+			w = o.ct.exploreProb(upper)
+		}
+		cost += w * o.best(r, upper).cost
+		if bestCut == nil || cost < bestCost {
+			bestCost = cost
+			bestCut = cut
+		}
+	}
+	return bestCost, bestCut
+}
+
+// enumerateCuts lists every valid non-empty EdgeCut of the component
+// (r, mask). A cut is a set of nodes (≠ r) in mask, pairwise non-ancestral,
+// whose parent edges are severed. Valid cuts factor over children: for each
+// child c of a retained node, either cut the edge above c or recurse into
+// c's subtree — the structure the NP-completeness proof's verifier and this
+// enumerator share.
+func (o *optimizer) enumerateCuts(r int, mask uint64) [][]int {
+	all := o.cutsBelow(r, mask)
+	// cutsBelow includes the empty cut; drop it.
+	out := all[:0]
+	for _, c := range all {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cutsBelow returns all cut-sets (including the empty one) using edges
+// strictly inside subtree(v) ∩ mask.
+func (o *optimizer) cutsBelow(v int, mask uint64) [][]int {
+	acc := [][]int{nil}
+	for _, c := range o.ct.Children[v] {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		// Options for child c: cut the edge above c, or keep it and apply
+		// any cut-set from inside c's subtree.
+		sub := o.cutsBelow(c, mask)
+		options := make([][]int, 0, len(sub)+1)
+		options = append(options, []int{c})
+		options = append(options, sub...)
+		next := make([][]int, 0, len(acc)*len(options))
+		for _, a := range acc {
+			for _, opt := range options {
+				merged := make([]int, 0, len(a)+len(opt))
+				merged = append(merged, a...)
+				merged = append(merged, opt...)
+				next = append(next, merged)
+				if len(next) > maxCutsPerState {
+					if o.err == nil {
+						o.err = fmt.Errorf("core: Opt-EdgeCut cut enumeration exceeded %d cuts", maxCutsPerState)
+					}
+					return [][]int{nil}
+				}
+			}
+		}
+		acc = next
+	}
+	return acc
+}

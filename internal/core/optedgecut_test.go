@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"bionav/internal/rng"
+)
+
+// makeCompTree builds a compTree directly for algorithm tests.
+// parents[0] must be -1; results[i] lists citation indexes attached to node
+// i; scores[i] is s(i). sum is the active-tree normalizer (pass the total
+// of scores to model a whole-tree component).
+func makeCompTree(t *testing.T, parents []int, results [][]int, scores []float64, nbits int) *compTree {
+	t.Helper()
+	n := len(parents)
+	ct := newCompTree(n, 0)
+	for i := 0; i < n; i++ {
+		ct.Parent[i] = parents[i]
+		if i > 0 {
+			if parents[i] < 0 || parents[i] >= i {
+				t.Fatalf("bad parent %d for node %d", parents[i], i)
+			}
+			ct.Children[parents[i]] = append(ct.Children[parents[i]], i)
+		}
+		b := newBitset(nbits)
+		for _, r := range results[i] {
+			b.set(r)
+		}
+		ct.Bits[i] = b
+		ct.Own[i] = b.count()
+		ct.Score[i] = scores[i]
+		ct.Sum += scores[i]
+		ct.NavEdge[i] = Edge{Parent: parents[i], Child: i}
+	}
+	ct.computeDescMasks()
+	return ct
+}
+
+// --- independent reference implementation -------------------------------
+//
+// refCost recomputes the expected TOPDOWN cost by brute force: cuts are
+// enumerated as arbitrary subsets filtered for validity (instead of the
+// production factored enumeration) and there is no memoization. Any
+// divergence flags a bug in the DP.
+
+func refIsAncestor(ct *compTree, a, b int) bool {
+	for cur := ct.Parent[b]; cur != -1; cur = ct.Parent[cur] {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+func refValidCuts(ct *compTree, r int, mask uint64) [][]int {
+	var nodes []int
+	for i := 0; i < ct.len(); i++ {
+		if i != r && mask&(1<<uint(i)) != 0 {
+			nodes = append(nodes, i)
+		}
+	}
+	var cuts [][]int
+	for sub := uint64(1); sub < 1<<uint(len(nodes)); sub++ {
+		var cut []int
+		for j, n := range nodes {
+			if sub&(1<<uint(j)) != 0 {
+				cut = append(cut, n)
+			}
+		}
+		ok := true
+		for _, a := range cut {
+			for _, b := range cut {
+				if a != b && refIsAncestor(ct, a, b) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+func refDistinct(ct *compTree, mask uint64) int {
+	u := newBitset(64 * len(ct.Bits[0]))
+	for i := 0; i < ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			u.orInto(ct.Bits[i])
+		}
+	}
+	return u.count()
+}
+
+func refPX(ct *compTree, mask uint64) float64 {
+	if ct.Sum == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s += ct.Score[i]
+		}
+	}
+	if p := s / ct.Sum; p < 1 {
+		return p
+	}
+	return 1
+}
+
+func refExpandProb(ct *compTree, model CostModel, mask uint64, L int) float64 {
+	var own []int
+	for i := 0; i < ct.len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			own = append(own, ct.Own[i])
+		}
+	}
+	return model.expandProb(own, L, len(own))
+}
+
+func refCost(ct *compTree, model CostModel, r int, mask uint64) float64 {
+	L := refDistinct(ct, mask)
+	pE := refExpandProb(ct, model, mask, L)
+	if pE == 0 || bits.OnesCount64(mask) <= 1 {
+		return float64(L)
+	}
+	bc, ok := refBestCut(ct, model, r, mask)
+	if !ok {
+		return float64(L)
+	}
+	return (1-pE)*float64(L) + pE*bc
+}
+
+func refBestCut(ct *compTree, model CostModel, r int, mask uint64) (float64, bool) {
+	cuts := refValidCuts(ct, r, mask)
+	if len(cuts) == 0 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for _, cut := range cuts {
+		var lowered uint64
+		cost := model.ExpandCost
+		for _, v := range cut {
+			sv := ct.descMask[v] & mask
+			lowered |= sv
+			cost += 1 + refPX(ct, sv)*refCost(ct, model, v, sv)
+		}
+		upper := mask &^ lowered
+		w := 1.0
+		if model.DiscountUpper {
+			w = refPX(ct, upper)
+		}
+		cost += w * refCost(ct, model, r, upper)
+		if cost < best {
+			best = cost
+		}
+	}
+	return best, true
+}
+
+// randomCompTree generates a random small compTree.
+func randomCompTree(t *testing.T, src *rng.Source, n, nbits int) *compTree {
+	parents := make([]int, n)
+	results := make([][]int, n)
+	scores := make([]float64, n)
+	parents[0] = -1
+	for i := 1; i < n; i++ {
+		parents[i] = src.Intn(i)
+	}
+	for i := 0; i < n; i++ {
+		k := src.Intn(nbits)
+		for j := 0; j < k; j++ {
+			results[i] = append(results[i], src.Intn(nbits))
+		}
+		scores[i] = src.Float64()
+	}
+	return makeCompTree(t, parents, results, scores, nbits)
+}
+
+func TestOptMatchesBruteForceReference(t *testing.T) {
+	src := rng.New(4242)
+	for trial := 0; trial < 60; trial++ {
+		model := CostModel{ExpandCost: 1, Thi: 8, Tlo: 2, UseEntropy: true, DiscountUpper: trial%2 == 0}
+		n := 2 + src.Intn(6) // up to 7 nodes: reference is exponential²
+		ct := randomCompTree(t, src, n, 12)
+		got, err := optExpectedCost(ct, model)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := refCost(ct, model, 0, ct.descMask[0])
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): optExpectedCost = %v, reference = %v", trial, n, got, want)
+		}
+
+		cut, cutCost, err := optEdgeCut(ct, model)
+		if err != nil {
+			t.Fatalf("trial %d: optEdgeCut: %v", trial, err)
+		}
+		wantCut, ok := refBestCut(ct, model, 0, ct.descMask[0])
+		if !ok {
+			t.Fatalf("trial %d: reference found no cut", trial)
+		}
+		if math.Abs(cutCost-wantCut) > 1e-9 {
+			t.Fatalf("trial %d: cut cost %v != reference %v", trial, cutCost, wantCut)
+		}
+		// The returned cut must be valid: non-empty, pairwise non-ancestral.
+		if len(cut) == 0 {
+			t.Fatalf("trial %d: empty cut", trial)
+		}
+		for _, a := range cut {
+			if a == 0 {
+				t.Fatalf("trial %d: cut contains root", trial)
+			}
+			for _, b := range cut {
+				if a != b && refIsAncestor(ct, a, b) {
+					t.Fatalf("trial %d: invalid cut %v", trial, cut)
+				}
+			}
+		}
+	}
+}
+
+func TestOptPrefersInformativeSplit(t *testing.T) {
+	// A chain root→mid→leaf where mid duplicates leaf's citations exactly
+	// and leaf is far more selective (rarer globally): the optimal cut must
+	// reveal the deeper, more specific concept — the paper's Cell Growth
+	// Processes vs Cell Proliferation example.
+	parents := []int{-1, 0, 1}
+	results := [][]int{{}, {0, 1, 2, 3}, {0, 1, 2, 3}}
+	scores := []float64{0, 0.01, 0.5} // leaf much more selective
+	ct := makeCompTree(t, parents, results, scores, 4)
+	model := CostModel{ExpandCost: 1, Thi: 3, Tlo: 1, UseEntropy: true}
+	cut, _, err := optEdgeCut(ct, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 1 || cut[0] != 2 {
+		t.Fatalf("cut = %v, want the deep selective node [2]", cut)
+	}
+}
+
+func TestOptSingleNodeRejected(t *testing.T) {
+	ct := makeCompTree(t, []int{-1}, [][]int{{0}}, []float64{1}, 2)
+	if _, _, err := optEdgeCut(ct, DefaultCostModel()); err == nil {
+		t.Fatal("optEdgeCut accepted single-node tree")
+	}
+}
+
+func TestOptTwoNodeTree(t *testing.T) {
+	ct := makeCompTree(t, []int{-1, 0}, [][]int{{0}, {1, 2}}, []float64{0.1, 0.2}, 3)
+	cut, cost, err := optEdgeCut(ct, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 1 || cut[0] != 1 {
+		t.Fatalf("cut = %v", cut)
+	}
+	// Only one possible cut: cost = K + 1 (label) + pX(lower)*L(lower)
+	// + L(upper) (upper continuation unweighted under the default model);
+	// with L small both sub-components terminate with SHOWRESULTS.
+	lowerPX := ct.Score[1] / ct.Sum
+	want := 1 + 1 + lowerPX*2 + 1
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestOptDeterministic(t *testing.T) {
+	src := rng.New(99)
+	ct := randomCompTree(t, src, 8, 16)
+	model := DefaultCostModel()
+	cut1, cost1, err1 := optEdgeCut(ct, model)
+	cut2, cost2, err2 := optEdgeCut(ct, model)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if cost1 != cost2 || len(cut1) != len(cut2) {
+		t.Fatal("optEdgeCut not deterministic")
+	}
+	for i := range cut1 {
+		if cut1[i] != cut2[i] {
+			t.Fatal("optEdgeCut cut order not deterministic")
+		}
+	}
+}
+
+func TestOptCostMonotoneInExpandCost(t *testing.T) {
+	// Raising K cannot lower the optimal expected cost.
+	src := rng.New(123)
+	for trial := 0; trial < 20; trial++ {
+		ct := randomCompTree(t, src, 6, 10)
+		m1 := CostModel{ExpandCost: 1, Thi: 8, Tlo: 2, UseEntropy: true}
+		m2 := m1
+		m2.ExpandCost = 3
+		c1, err1 := optExpectedCost(ct, m1)
+		c2, err2 := optExpectedCost(ct, m2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if c2+1e-9 < c1 {
+			t.Fatalf("trial %d: cost decreased when K rose: %v → %v", trial, c1, c2)
+		}
+	}
+}
+
+func BenchmarkOptEdgeCut10(b *testing.B) {
+	src := rng.New(7)
+	cts := make([]*compTree, 16)
+	for i := range cts {
+		parents := make([]int, 10)
+		results := make([][]int, 10)
+		scores := make([]float64, 10)
+		parents[0] = -1
+		for j := 1; j < 10; j++ {
+			parents[j] = src.Intn(j)
+		}
+		for j := 0; j < 10; j++ {
+			for k := 0; k < 20; k++ {
+				results[j] = append(results[j], src.Intn(300))
+			}
+			scores[j] = src.Float64()
+		}
+		ct := newCompTree(10, 0)
+		for j := 0; j < 10; j++ {
+			ct.Parent[j] = parents[j]
+			if j > 0 {
+				ct.Children[parents[j]] = append(ct.Children[parents[j]], j)
+			}
+			bs := newBitset(300)
+			for _, r := range results[j] {
+				bs.set(r)
+			}
+			ct.Bits[j] = bs
+			ct.Own[j] = bs.count()
+			ct.Score[j] = scores[j]
+			ct.Sum += scores[j]
+		}
+		ct.computeDescMasks()
+		cts[i] = ct
+	}
+	model := DefaultCostModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := optEdgeCut(cts[i%len(cts)], model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+
+	"bionav/internal/navtree"
+)
+
+// This file implements the tree-partitioning step of Heuristic-ReducedOpt
+// (§VI-B), adapted from the k-partition algorithm of Kundu & Misra [11]:
+// processing the component subtree bottom-up, each node sheds its heaviest
+// child cluster as a finished partition until its accumulated weight drops
+// below the threshold W. Starting from W = Σw / k, W grows geometrically
+// until at most k partitions remain, as the paper prescribes.
+//
+// The sweep tracks cluster weights only; member lists are materialized
+// once, after the partition roots are known, by walking the component and
+// pruning at foreign roots. This keeps each sweep O(n log fanout) instead
+// of copying member slices up the tree.
+
+// partition is one supernode of the reduced tree: a connected cluster of
+// component members rooted at root.
+type partition struct {
+	root    navtree.NodeID
+	members []navtree.NodeID
+}
+
+// kPartition splits the component rooted at root into at most k connected
+// partitions. Node weight is |res(n)| + 1 (the +1 keeps zero-result nodes
+// mergeable while still counting their label-inspection cost). The result
+// is ordered root-partition first, then by partition root ascending, which
+// guarantees parents precede children in the reduced tree.
+func kPartition(at *ActiveTree, root navtree.NodeID, k int) []partition {
+	members := at.Members(root)
+	if k < 1 {
+		k = 1
+	}
+	if len(members) <= k {
+		// Degenerate: every member its own partition.
+		parts := make([]partition, len(members))
+		for i, m := range members {
+			parts[i] = partition{root: m, members: []navtree.NodeID{m}}
+		}
+		return parts
+	}
+	total := 0.0
+	for _, m := range members {
+		total += weight(at, m)
+	}
+
+	w := total / float64(k)
+	for {
+		roots := partitionRoots(at, root, w)
+		if len(roots) <= k {
+			if len(roots) == 1 {
+				// Skewed weights can overshoot the threshold and leave a
+				// single cluster, which gives Opt-EdgeCut nothing to cut:
+				// force a two-way split on the heaviest child subtree.
+				roots = append(roots, heaviestChildSubtree(at, root))
+			}
+			return collectPartitions(at, root, roots)
+		}
+		w *= 1.5
+	}
+}
+
+func weight(at *ActiveTree, n navtree.NodeID) float64 {
+	return float64(at.nav.NumResults(n)) + 1
+}
+
+// partitionRoots runs one bottom-up sweep with threshold w and returns the
+// roots of the finished partitions (always including the component root).
+// Component membership is checked directly against the active tree's
+// component map: within a component, once a child belongs elsewhere its
+// whole subtree does, so the recursion prunes there.
+func partitionRoots(at *ActiveTree, root navtree.NodeID, w float64) []navtree.NodeID {
+	roots := []navtree.NodeID{root}
+	sweepWeight(at, root, root, w, &roots)
+	return roots
+}
+
+// sweepWeight post-order-processes node n and returns the weight of its
+// remaining cluster; detached child-cluster roots are appended to roots.
+func sweepWeight(at *ActiveTree, compRoot, n navtree.NodeID, w float64, roots *[]navtree.NodeID) float64 {
+	type kid struct {
+		root   navtree.NodeID
+		weight float64
+	}
+	own := weight(at, n)
+	var kids []kid
+	acc := own
+	for _, c := range at.nav.Children(n) {
+		if at.compOf[c] != compRoot {
+			continue
+		}
+		kw := sweepWeight(at, compRoot, c, w, roots)
+		kids = append(kids, kid{root: c, weight: kw})
+		acc += kw
+	}
+	// Heaviest-first detachment: sort children by weight descending (ties
+	// by root ascending for determinism) and detach until under threshold.
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].weight != kids[j].weight {
+			return kids[i].weight > kids[j].weight
+		}
+		return kids[i].root < kids[j].root
+	})
+	for _, kd := range kids {
+		if acc <= w {
+			break
+		}
+		*roots = append(*roots, kd.root)
+		acc -= kd.weight
+	}
+	return acc
+}
+
+// heaviestChildSubtree returns the component child of root whose subtree
+// carries the most weight. The component is guaranteed to have a child
+// edge (callers reject singletons).
+func heaviestChildSubtree(at *ActiveTree, root navtree.NodeID) navtree.NodeID {
+	var best navtree.NodeID = -1
+	bestWeight := -1.0
+	for _, c := range at.nav.Children(root) {
+		if at.compOf[c] != root {
+			continue
+		}
+		w := 0.0
+		at.nav.PreOrder(c, func(n navtree.NodeID) bool {
+			if at.compOf[n] != root {
+				return false
+			}
+			w += weight(at, n)
+			return true
+		})
+		if w > bestWeight {
+			best, bestWeight = c, w
+		}
+	}
+	return best
+}
+
+// collectPartitions materializes the member lists: each partition owns its
+// root's subtree pruned at foreign partition roots. The result is ordered
+// by partition root ascending; the component root (the minimum node ID of
+// the component) therefore comes first.
+func collectPartitions(at *ActiveTree, root navtree.NodeID, roots []navtree.NodeID) []partition {
+	isRoot := make(map[navtree.NodeID]bool, len(roots))
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	sorted := append([]navtree.NodeID(nil), roots...)
+	sort.Ints(sorted)
+	if sorted[0] != root {
+		panic("core: partition ordering violated")
+	}
+	parts := make([]partition, len(sorted))
+	for i, r := range sorted {
+		p := partition{root: r}
+		at.nav.PreOrder(r, func(n navtree.NodeID) bool {
+			if at.compOf[n] != root || (n != r && isRoot[n]) {
+				return false
+			}
+			p.members = append(p.members, n)
+			return true
+		})
+		parts[i] = p
+	}
+	return parts
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/navtree"
+)
+
+// bigActiveTree builds a generated-corpus navigation tree large enough to
+// force real partitioning.
+func bigActiveTree(t *testing.T, seed uint64, nResults int) *ActiveTree {
+	t.Helper()
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: seed, Nodes: 1200, TopLevel: 12, MaxDepth: 9})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: seed + 1, Citations: nResults, MeanConcepts: 40, FirstID: 1, YearLo: 2000, YearHi: 2008,
+	})
+	nav := navtree.Build(corp, corp.IDs())
+	if err := nav.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return NewActiveTree(nav)
+}
+
+func checkPartitions(t *testing.T, at *ActiveTree, root navtree.NodeID, parts []partition, k int) {
+	t.Helper()
+	if len(parts) == 0 || len(parts) > k {
+		t.Fatalf("got %d partitions, want 1..%d", len(parts), k)
+	}
+	if parts[0].root != root {
+		t.Fatalf("first partition root = %d, want component root %d", parts[0].root, root)
+	}
+	members := at.Members(root)
+	covered := make(map[navtree.NodeID]int)
+	for i, p := range parts {
+		if i > 0 && parts[i-1].root >= p.root {
+			t.Fatalf("partitions not ordered by root: %d then %d", parts[i-1].root, p.root)
+		}
+		if len(p.members) == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+		foundRoot := false
+		for _, m := range p.members {
+			if _, dup := covered[m]; dup {
+				t.Fatalf("node %d in two partitions", m)
+			}
+			covered[m] = i
+			if m == p.root {
+				foundRoot = true
+			}
+		}
+		if !foundRoot {
+			t.Fatalf("partition %d does not contain its root", i)
+		}
+	}
+	if len(covered) != len(members) {
+		t.Fatalf("partitions cover %d nodes, component has %d", len(covered), len(members))
+	}
+	// Connectivity: every member except the partition root must have its
+	// navigation parent in the same partition.
+	for _, p := range parts {
+		own := make(map[navtree.NodeID]bool, len(p.members))
+		for _, m := range p.members {
+			own[m] = true
+		}
+		for _, m := range p.members {
+			if m != p.root && !own[at.Nav().Parent(m)] {
+				t.Fatalf("partition rooted at %d: member %d disconnected", p.root, m)
+			}
+		}
+	}
+}
+
+func TestKPartitionInvariants(t *testing.T) {
+	at := bigActiveTree(t, 51, 200)
+	root := at.Nav().Root()
+	for _, k := range []int{2, 4, 10, 16} {
+		parts := kPartition(at, root, k)
+		checkPartitions(t, at, root, parts, k)
+	}
+}
+
+func TestKPartitionSmallComponentIdentity(t *testing.T) {
+	f := newPaperFixture(t)
+	root := f.nodes["root"]
+	n := f.at.ComponentSize(root)
+	parts := kPartition(f.at, root, n+5)
+	if len(parts) != n {
+		t.Fatalf("got %d singleton partitions, want %d", len(parts), n)
+	}
+	for _, p := range parts {
+		if len(p.members) != 1 {
+			t.Fatalf("partition %v not singleton", p)
+		}
+	}
+}
+
+func TestKPartitionDeterministic(t *testing.T) {
+	at1 := bigActiveTree(t, 52, 150)
+	at2 := bigActiveTree(t, 52, 150)
+	p1 := kPartition(at1, at1.Nav().Root(), 10)
+	p2 := kPartition(at2, at2.Nav().Root(), 10)
+	if len(p1) != len(p2) {
+		t.Fatalf("partition counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].root != p2[i].root || len(p1[i].members) != len(p2[i].members) {
+			t.Fatalf("partition %d differs", i)
+		}
+	}
+}
+
+func TestKPartitionOnSubComponent(t *testing.T) {
+	at := bigActiveTree(t, 53, 200)
+	root := at.Nav().Root()
+	// Detach a child with a decent subtree and partition that component.
+	var sub navtree.NodeID = -1
+	for _, c := range at.Nav().Children(root) {
+		if at.DistinctUnder(root, c) > 20 {
+			sub = c
+			break
+		}
+	}
+	if sub == -1 {
+		t.Skip("no large child in generated tree")
+	}
+	if _, err := at.Expand(root, []Edge{{Parent: root, Child: sub}}); err != nil {
+		t.Fatal(err)
+	}
+	parts := kPartition(at, sub, 8)
+	checkPartitions(t, at, sub, parts, 8)
+}
+
+func TestPartitionCompTreeStructure(t *testing.T) {
+	at := bigActiveTree(t, 54, 200)
+	root := at.Nav().Root()
+	parts := kPartition(at, root, 10)
+	ct, err := partitionCompTree(at, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.len() != len(parts) {
+		t.Fatalf("compTree has %d nodes for %d partitions", ct.len(), len(parts))
+	}
+	if ct.Parent[0] != -1 {
+		t.Fatal("compTree root parent wrong")
+	}
+	totalOwn := 0
+	for i := 0; i < ct.len(); i++ {
+		if i > 0 {
+			if ct.Parent[i] < 0 || ct.Parent[i] >= i {
+				t.Fatalf("node %d parent %d out of order", i, ct.Parent[i])
+			}
+			e := ct.NavEdge[i]
+			if at.Nav().Parent(e.Child) != e.Parent {
+				t.Fatalf("NavEdge %d is not a tree edge", i)
+			}
+			if e.Child != parts[i].root {
+				t.Fatalf("NavEdge %d child %d != partition root %d", i, e.Child, parts[i].root)
+			}
+		}
+		totalOwn += ct.Own[i]
+	}
+	// The union over all partitions must equal the component's distinct
+	// count (the root component holds the full query result).
+	full := ct.descMask[0]
+	scratch := newBitset(at.Nav().DistinctTotal())
+	if got, want := ct.distinct(full, scratch), at.Distinct(root); got != want {
+		t.Fatalf("compTree distinct = %d, component distinct = %d", got, want)
+	}
+}
+
+func TestIdentityCompTreeTooLarge(t *testing.T) {
+	at := bigActiveTree(t, 55, 200)
+	root := at.Nav().Root()
+	members := at.Members(root)
+	if len(members) <= maxOptNodes {
+		t.Skip("component unexpectedly small")
+	}
+	if _, err := identityCompTree(at, root, members); err == nil {
+		t.Fatal("identityCompTree accepted oversized component")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"bionav/internal/corpus"
+	"bionav/internal/navtree"
+	"bionav/internal/rng"
+)
+
+// randomValidCut draws a random valid EdgeCut of the component rooted at
+// root: shuffle the non-root members and greedily keep nodes that are not
+// ancestors/descendants of already-chosen cut nodes.
+func randomValidCut(at *ActiveTree, root navtree.NodeID, src *rng.Source) []Edge {
+	members := at.Members(root)
+	if len(members) < 2 {
+		return nil
+	}
+	cands := append([]navtree.NodeID(nil), members[1:]...)
+	src.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	want := 1 + src.Intn(4)
+	var chosen []navtree.NodeID
+	for _, c := range cands {
+		ok := true
+		for _, prev := range chosen {
+			if prev == c || at.Nav().IsAncestor(prev, c) || at.Nav().IsAncestor(c, prev) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, c)
+			if len(chosen) == want {
+				break
+			}
+		}
+	}
+	cut := make([]Edge, len(chosen))
+	for i, c := range chosen {
+		cut[i] = Edge{Parent: at.Nav().Parent(c), Child: c}
+	}
+	return cut
+}
+
+// TestRandomValidCutsPreserveSemantics drives the active tree with random
+// valid cuts (independent of any policy) and cross-checks, after every
+// operation, the partition invariants plus a brute-force recomputation of
+// each component's distinct count and explore probability.
+func TestRandomValidCutsPreserveSemantics(t *testing.T) {
+	at := bigActiveTree(t, 81, 180)
+	nav := at.Nav()
+	src := rng.New(4096)
+
+	recountDistinct := func(root navtree.NodeID) int {
+		seen := map[corpus.CitationID]struct{}{}
+		for _, m := range at.Members(root) {
+			for _, c := range nav.Results(m) {
+				seen[c] = struct{}{}
+			}
+		}
+		return len(seen)
+	}
+
+	for step := 0; step < 150; step++ {
+		// Pick a random expandable component.
+		roots := at.VisibleRoots()
+		var cands []navtree.NodeID
+		for _, r := range roots {
+			if at.ComponentSize(r) > 1 {
+				cands = append(cands, r)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		root := cands[src.Intn(len(cands))]
+		cut := randomValidCut(at, root, src)
+		if len(cut) == 0 {
+			continue
+		}
+		lower, err := at.Expand(root, cut)
+		if err != nil {
+			t.Fatalf("step %d: random valid cut rejected: %v", step, err)
+		}
+		if len(lower) != len(cut) {
+			t.Fatalf("step %d: %d lower roots for %d cut edges", step, len(lower), len(cut))
+		}
+		if err := at.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		// Cross-check the bitset-based distinct count and pX against naive
+		// recomputation on a sample of components.
+		sample := append([]navtree.NodeID{root}, lower...)
+		sumPX := 0.0
+		for _, r := range at.VisibleRoots() {
+			sumPX += at.ExploreProb(r)
+		}
+		if sumPX < 0.999 || sumPX > 1.001 {
+			t.Fatalf("step %d: Σ pX = %v", step, sumPX)
+		}
+		for _, r := range sample {
+			if got, want := at.Distinct(r), recountDistinct(r); got != want {
+				t.Fatalf("step %d: Distinct(%d) = %d, recount %d", step, r, got, want)
+			}
+		}
+		// Occasionally backtrack and verify restoration.
+		if src.Intn(5) == 0 {
+			before := len(at.VisibleRoots())
+			if err := at.Backtrack(); err != nil {
+				t.Fatalf("step %d: backtrack: %v", step, err)
+			}
+			if err := at.CheckInvariants(); err != nil {
+				t.Fatalf("step %d after backtrack: %v", step, err)
+			}
+			if len(at.VisibleRoots()) >= before {
+				t.Fatalf("step %d: backtrack did not reduce visible roots", step)
+			}
+		}
+	}
+}

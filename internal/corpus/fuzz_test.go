@@ -1,0 +1,58 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"bionav/internal/hierarchy"
+)
+
+// FuzzTokenize: the tokenizer must never panic, never emit empty or
+// duplicate tokens, and must be idempotent over its own output.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Prothymosin Alpha in Cancer")
+	f.Add("Na+/I- symporter --edge--")
+	f.Add("日本語 mixed UTF-8 Ωμέγα")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		toks := Tokenize(in)
+		seen := map[string]bool{}
+		for _, tok := range toks {
+			if tok == "" || len(tok) < 2 {
+				t.Fatalf("short token %q from %q", tok, in)
+			}
+			if seen[tok] {
+				t.Fatalf("duplicate token %q from %q", tok, in)
+			}
+			seen[tok] = true
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("not idempotent: %v → %v", toks, again)
+		}
+	})
+}
+
+// FuzzParseMedlineXML: arbitrary XML must import or error — never panic —
+// and imported citations must always assemble into a corpus.
+func FuzzParseMedlineXML(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add("<PubmedArticleSet></PubmedArticleSet>")
+	f.Add("<bad")
+	b := hierarchy.NewBuilder("MESH")
+	p := b.Add(0, "Proteins")
+	b.Add(p, "Histones")
+	tree, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		cits, _, err := ParseMedlineXML(strings.NewReader(in), tree)
+		if err != nil {
+			return
+		}
+		if _, err := New(tree, cits, make([]int64, tree.Len())); err != nil {
+			t.Fatalf("imported citations rejected by corpus.New: %v", err)
+		}
+	})
+}

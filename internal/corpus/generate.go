@@ -1,0 +1,234 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"bionav/internal/hierarchy"
+	"bionav/internal/rng"
+)
+
+// GenConfig controls the synthetic MEDLINE generator.
+type GenConfig struct {
+	Seed         uint64
+	Citations    int
+	MeanConcepts int        // target mean annotations per citation (paper: ~90)
+	FirstID      CitationID // PMIDs are assigned sequentially from here
+	YearLo       int
+	YearHi       int
+}
+
+// DefaultGenConfig produces a laptop-scale MEDLINE sample with PubMed-level
+// annotation density.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:         1566,
+		Citations:    20000,
+		MeanConcepts: 90,
+		FirstID:      10_000_000,
+		YearLo:       1975,
+		YearHi:       2008,
+	}
+}
+
+// Generate synthesizes a corpus over tree. Generation is deterministic in
+// cfg. Each citation is annotated around a Zipf-chosen focus concept: the
+// full ancestor path of the focus plus correlated neighbors, which yields
+// the duplicate-heavy, path-correlated association structure the paper's
+// EdgeCut optimization exploits.
+func Generate(tree *hierarchy.Tree, cfg GenConfig) *Corpus {
+	if cfg.Citations < 0 || cfg.MeanConcepts < 1 {
+		panic("corpus: invalid GenConfig")
+	}
+	if cfg.YearHi < cfg.YearLo {
+		cfg.YearHi = cfg.YearLo
+	}
+	src := rng.New(cfg.Seed)
+	ann := NewAnnotator(tree, src.Split())
+	nameSrc := src.Split()
+
+	citations := make([]Citation, cfg.Citations)
+	focusZipf := rng.NewZipf(tree.Len()-1, 0.9) // over non-root concepts
+	for i := range citations {
+		focus := hierarchy.ConceptID(1 + focusZipf.Next(src))
+		target := varyAround(src, cfg.MeanConcepts)
+		concepts := ann.Annotate(focus, target)
+		title := synthTitle(nameSrc, tree, focus)
+		citations[i] = Citation{
+			ID:       cfg.FirstID + CitationID(i),
+			Title:    title,
+			Authors:  synthAuthors(nameSrc),
+			Year:     cfg.YearLo + src.Intn(cfg.YearHi-cfg.YearLo+1),
+			Terms:    Tokenize(title),
+			Concepts: concepts,
+		}
+	}
+
+	counts := SynthGlobalCounts(tree, src.Split())
+	c, err := New(tree, citations, counts)
+	if err != nil {
+		panic("corpus: generator bug: " + err.Error())
+	}
+	return c
+}
+
+// varyAround returns a target annotation count in [mean/2, 3*mean/2].
+func varyAround(src *rng.Source, mean int) int {
+	lo := mean / 2
+	if lo < 1 {
+		lo = 1
+	}
+	return lo + src.Intn(mean+1)
+}
+
+// Annotator samples concept-annotation sets for citations. It is exported
+// so the workload package can plant query-result citations with the same
+// annotation model.
+type Annotator struct {
+	tree *hierarchy.Tree
+	src  *rng.Source
+}
+
+// NewAnnotator returns an annotator over tree driven by src.
+func NewAnnotator(tree *hierarchy.Tree, src *rng.Source) *Annotator {
+	return &Annotator{tree: tree, src: src}
+}
+
+// Annotate returns ~target distinct concepts around focus: focus itself,
+// all its ancestors (except the root), and correlated vicinity concepts,
+// each again closed under ancestors. The result is sorted by concept ID.
+func (a *Annotator) Annotate(focus hierarchy.ConceptID, target int) []hierarchy.ConceptID {
+	set := make(map[hierarchy.ConceptID]struct{}, target+8)
+	a.addWithAncestors(set, focus)
+	// Guard against pathological loops when target exceeds what the
+	// vicinity can supply: bound the number of sampling attempts.
+	for attempts := 0; len(set) < target && attempts < 8*target; attempts++ {
+		a.addWithAncestors(set, a.vicinity(focus))
+	}
+	out := make([]hierarchy.ConceptID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (a *Annotator) addWithAncestors(set map[hierarchy.ConceptID]struct{}, id hierarchy.ConceptID) {
+	for cur := id; cur != hierarchy.None && cur != a.tree.Root(); cur = a.tree.Parent(cur) {
+		if _, ok := set[cur]; ok {
+			return // ancestors already present
+		}
+		set[cur] = struct{}{}
+	}
+}
+
+// vicinity picks a concept related to focus: walk up a geometric number of
+// levels, then down a short random child chain. Occasionally (10%) it jumps
+// to a uniformly random concept, modeling unrelated secondary topics.
+func (a *Annotator) vicinity(focus hierarchy.ConceptID) hierarchy.ConceptID {
+	if a.src.Intn(10) == 0 {
+		return hierarchy.ConceptID(1 + a.src.Intn(a.tree.Len()-1))
+	}
+	cur := focus
+	for a.src.Intn(2) == 0 && a.tree.Parent(cur) != hierarchy.None && a.tree.Parent(cur) != a.tree.Root() {
+		cur = a.tree.Parent(cur)
+	}
+	for hops := a.src.Intn(3); hops > 0; hops-- {
+		children := a.tree.Children(cur)
+		if len(children) == 0 {
+			break
+		}
+		cur = children[a.src.Intn(len(children))]
+	}
+	return cur
+}
+
+// SynthGlobalCounts fabricates MEDLINE-wide citation counts for every
+// concept: counts decay geometrically with depth (general concepts like
+// "Diseases" are annotated on millions of citations, deep leaves on dozens)
+// with heavy log-normal noise. The root gets the full database size.
+func SynthGlobalCounts(tree *hierarchy.Tree, src *rng.Source) []int64 {
+	// Base counts per depth, loosely matching PubMed term frequencies.
+	base := []float64{18e6, 3e6, 6e5, 1.5e5, 4e4, 1.2e4, 4e3, 1.5e3, 600, 250, 100, 50, 25}
+	counts := make([]int64, tree.Len())
+	for i := 0; i < tree.Len(); i++ {
+		d := tree.Node(hierarchy.ConceptID(i)).Depth
+		if d >= len(base) {
+			d = len(base) - 1
+		}
+		noise := math.Exp(src.NormFloat64() * 1.1)
+		n := int64(base[d] * noise)
+		if n < 10 {
+			n = 10
+		}
+		counts[i] = n
+	}
+	counts[tree.Root()] = 18_000_000
+	return counts
+}
+
+var firstNames = []string{
+	"A.", "B.", "C.", "D.", "E.", "F.", "G.", "H.", "J.", "K.", "L.", "M.",
+	"N.", "P.", "R.", "S.", "T.", "V.", "W.", "Y.",
+}
+
+var lastNames = []string{
+	"Anders", "Baker", "Chen", "Davis", "Evans", "Fischer", "Garcia",
+	"Hofmann", "Ito", "Jensen", "Kim", "Laurent", "Moreau", "Nakamura",
+	"Olsen", "Petrov", "Quinn", "Rossi", "Suzuki", "Tanaka", "Ueda",
+	"Vasquez", "Weber", "Xu", "Yamada", "Zhang",
+}
+
+func synthAuthors(src *rng.Source) []string {
+	n := 1 + src.Intn(5)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = firstNames[src.Intn(len(firstNames))] + " " + lastNames[src.Intn(len(lastNames))]
+	}
+	return out
+}
+
+var titlePatterns = []string{
+	"%s in %s: a controlled study",
+	"The role of %s in %s",
+	"%s modulates %s in vivo",
+	"Expression of %s during %s",
+	"%s and %s: molecular mechanisms",
+	"Effects of %s on %s",
+	"Characterization of %s in models of %s",
+	"%s-dependent regulation of %s",
+}
+
+func synthTitle(src *rng.Source, tree *hierarchy.Tree, focus hierarchy.ConceptID) string {
+	other := hierarchy.ConceptID(1 + src.Intn(tree.Len()-1))
+	pat := titlePatterns[src.Intn(len(titlePatterns))]
+	return fmt.Sprintf(pat, tree.Label(focus), tree.Label(other))
+}
+
+// Tokenize lowercases s and splits it into alphanumeric tokens, dropping
+// one-character tokens and duplicates. It is the single tokenizer shared by
+// corpus generation and the search index, so planted query terms always
+// match at search time.
+func Tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9' || r == '+' || r == '-')
+	})
+	seen := make(map[string]struct{}, len(fields))
+	out := fields[:0]
+	for _, f := range fields {
+		// Leading dashes are punctuation; trailing +/- carry meaning in
+		// chemistry terms like "Na+" and "I-".
+		f = strings.TrimLeft(f, "-")
+		if len(f) < 2 {
+			continue
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		out = append(out, f)
+	}
+	return out
+}

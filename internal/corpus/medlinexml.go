@@ -1,0 +1,173 @@
+package corpus
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bionav/internal/hierarchy"
+)
+
+// This file reads and writes the MEDLINE/PubMed citation XML exchange
+// format (PubmedArticleSet), the format eutils EFetch returns and NLM
+// distributes the baseline in. It gives the reproduction a path onto real
+// data: a user can EFetch citations and load them against a MeSH hierarchy
+// parsed with hierarchy.ParseMeSHASCII.
+
+// medline XML wire structures (the subset BioNav consumes).
+type pubmedArticleSet struct {
+	XMLName  xml.Name        `xml:"PubmedArticleSet"`
+	Articles []pubmedArticle `xml:"PubmedArticle"`
+}
+
+type pubmedArticle struct {
+	Citation medlineCitation `xml:"MedlineCitation"`
+}
+
+type medlineCitation struct {
+	PMID    string         `xml:"PMID"`
+	Article medlineArticle `xml:"Article"`
+	Mesh    []meshHeading  `xml:"MeshHeadingList>MeshHeading"`
+}
+
+type medlineArticle struct {
+	Title    string          `xml:"ArticleTitle"`
+	Abstract []string        `xml:"Abstract>AbstractText"`
+	Authors  []medlineAuthor `xml:"AuthorList>Author"`
+	Year     string          `xml:"Journal>JournalIssue>PubDate>Year"`
+}
+
+type medlineAuthor struct {
+	LastName string `xml:"LastName"`
+	Initials string `xml:"Initials"`
+}
+
+type meshHeading struct {
+	Descriptor string `xml:"DescriptorName"`
+}
+
+// ImportStats reports what an import kept and dropped.
+type ImportStats struct {
+	Articles           int // articles in the file
+	Imported           int // citations produced
+	SkippedNoPMID      int
+	SkippedDuplicate   int
+	UnknownDescriptors int // MeSH headings absent from the hierarchy
+}
+
+// ParseMedlineXML reads a PubmedArticleSet and resolves each article's
+// MeSH headings against tree. Articles without a parseable PMID are
+// skipped; duplicate PMIDs keep the first occurrence; headings that don't
+// resolve to a hierarchy concept are counted, not fatal (real MEDLINE
+// files reference supplementary descriptors BioNav's tree omits).
+func ParseMedlineXML(r io.Reader, tree *hierarchy.Tree) ([]Citation, ImportStats, error) {
+	var set pubmedArticleSet
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&set); err != nil {
+		return nil, ImportStats{}, fmt.Errorf("corpus: parse medline xml: %w", err)
+	}
+	stats := ImportStats{Articles: len(set.Articles)}
+	seen := make(map[CitationID]bool, len(set.Articles))
+	out := make([]Citation, 0, len(set.Articles))
+	for _, a := range set.Articles {
+		pmid, err := strconv.ParseInt(strings.TrimSpace(a.Citation.PMID), 10, 64)
+		if err != nil || pmid <= 0 {
+			stats.SkippedNoPMID++
+			continue
+		}
+		id := CitationID(pmid)
+		if seen[id] {
+			stats.SkippedDuplicate++
+			continue
+		}
+		seen[id] = true
+
+		art := a.Citation.Article
+		year, _ := strconv.Atoi(strings.TrimSpace(art.Year))
+		var authors []string
+		for _, au := range art.Authors {
+			name := strings.TrimSpace(strings.TrimSpace(au.Initials) + " " + strings.TrimSpace(au.LastName))
+			if name != "" {
+				authors = append(authors, name)
+			}
+		}
+
+		conceptSet := make(map[hierarchy.ConceptID]struct{})
+		for _, mh := range a.Citation.Mesh {
+			cid, ok := tree.ByLabel(strings.TrimSpace(mh.Descriptor))
+			if !ok {
+				stats.UnknownDescriptors++
+				continue
+			}
+			// Annotations are ancestor-closed, as the synthetic corpus and
+			// the navigation-tree counts assume.
+			for cur := cid; cur != hierarchy.None && cur != tree.Root(); cur = tree.Parent(cur) {
+				conceptSet[cur] = struct{}{}
+			}
+		}
+		concepts := make([]hierarchy.ConceptID, 0, len(conceptSet))
+		for c := range conceptSet {
+			concepts = append(concepts, c)
+		}
+		sortConceptIDs(concepts)
+
+		text := art.Title
+		for _, ab := range art.Abstract {
+			text += " " + ab
+		}
+		out = append(out, Citation{
+			ID:       id,
+			Title:    strings.TrimSpace(art.Title),
+			Authors:  authors,
+			Year:     year,
+			Terms:    Tokenize(text),
+			Concepts: concepts,
+		})
+		stats.Imported++
+	}
+	return out, stats, nil
+}
+
+func sortConceptIDs(ids []hierarchy.ConceptID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// WriteMedlineXML exports citations as a PubmedArticleSet, emitting one
+// MeshHeading per directly annotated concept. tree resolves concept labels.
+func WriteMedlineXML(w io.Writer, tree *hierarchy.Tree, citations []Citation) error {
+	set := pubmedArticleSet{}
+	for _, c := range citations {
+		art := pubmedArticle{}
+		art.Citation.PMID = strconv.FormatInt(int64(c.ID), 10)
+		art.Citation.Article.Title = c.Title
+		art.Citation.Article.Year = strconv.Itoa(c.Year)
+		for _, a := range c.Authors {
+			initials, last, ok := strings.Cut(a, " ")
+			if !ok {
+				last = a
+				initials = ""
+			}
+			art.Citation.Article.Authors = append(art.Citation.Article.Authors,
+				medlineAuthor{LastName: last, Initials: initials})
+		}
+		for _, cid := range c.Concepts {
+			art.Citation.Mesh = append(art.Citation.Mesh, meshHeading{Descriptor: tree.Label(cid)})
+		}
+		set.Articles = append(set.Articles, art)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(set); err != nil {
+		return fmt.Errorf("corpus: write medline xml: %w", err)
+	}
+	return enc.Close()
+}

@@ -1,0 +1,154 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bionav/internal/hierarchy"
+)
+
+func meshTree(t *testing.T) *hierarchy.Tree {
+	t.Helper()
+	b := hierarchy.NewBuilder("MESH")
+	prot := b.Add(0, "Proteins")
+	b.Add(prot, "Histones")
+	b.Add(0, "Neoplasms")
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const sampleXML = `<?xml version="1.0"?>
+<PubmedArticleSet>
+  <PubmedArticle>
+    <MedlineCitation>
+      <PMID>11748933</PMID>
+      <Article>
+        <Journal><JournalIssue><PubDate><Year>2001</Year></PubDate></JournalIssue></Journal>
+        <ArticleTitle>Prothymosin alpha interacts with histones</ArticleTitle>
+        <Abstract><AbstractText>Chromatin remodeling study.</AbstractText></Abstract>
+        <AuthorList>
+          <Author><LastName>Karetsou</LastName><Initials>Z</Initials></Author>
+          <Author><LastName>Papamarcaki</LastName><Initials>T</Initials></Author>
+        </AuthorList>
+      </Article>
+      <MeshHeadingList>
+        <MeshHeading><DescriptorName>Histones</DescriptorName></MeshHeading>
+        <MeshHeading><DescriptorName>Neoplasms</DescriptorName></MeshHeading>
+        <MeshHeading><DescriptorName>Unknown Supplementary Concept</DescriptorName></MeshHeading>
+      </MeshHeadingList>
+    </MedlineCitation>
+  </PubmedArticle>
+  <PubmedArticle>
+    <MedlineCitation>
+      <PMID>11748933</PMID>
+      <Article><ArticleTitle>Duplicate PMID</ArticleTitle></Article>
+    </MedlineCitation>
+  </PubmedArticle>
+  <PubmedArticle>
+    <MedlineCitation>
+      <PMID>notanumber</PMID>
+      <Article><ArticleTitle>Broken</ArticleTitle></Article>
+    </MedlineCitation>
+  </PubmedArticle>
+</PubmedArticleSet>`
+
+func TestParseMedlineXML(t *testing.T) {
+	tree := meshTree(t)
+	cits, stats, err := ParseMedlineXML(strings.NewReader(sampleXML), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Articles != 3 || stats.Imported != 1 || stats.SkippedDuplicate != 1 || stats.SkippedNoPMID != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.UnknownDescriptors != 1 {
+		t.Fatalf("UnknownDescriptors = %d", stats.UnknownDescriptors)
+	}
+	c := cits[0]
+	if c.ID != 11748933 || c.Year != 2001 {
+		t.Fatalf("citation = %+v", c)
+	}
+	if len(c.Authors) != 2 || c.Authors[0] != "Z Karetsou" {
+		t.Fatalf("authors = %v", c.Authors)
+	}
+	// Histones resolves and closes over its ancestor Proteins; Neoplasms
+	// is a root child.
+	histones, _ := tree.ByLabel("Histones")
+	proteins, _ := tree.ByLabel("Proteins")
+	neoplasms, _ := tree.ByLabel("Neoplasms")
+	want := map[hierarchy.ConceptID]bool{histones: true, proteins: true, neoplasms: true}
+	if len(c.Concepts) != len(want) {
+		t.Fatalf("concepts = %v", c.Concepts)
+	}
+	for _, cid := range c.Concepts {
+		if !want[cid] {
+			t.Fatalf("unexpected concept %d", cid)
+		}
+	}
+	// Terms cover title and abstract.
+	hasTerm := func(term string) bool {
+		for _, tm := range c.Terms {
+			if tm == term {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasTerm("prothymosin") || !hasTerm("chromatin") {
+		t.Fatalf("terms = %v", c.Terms)
+	}
+}
+
+func TestParseMedlineXMLGarbage(t *testing.T) {
+	if _, _, err := ParseMedlineXML(strings.NewReader("<not-xml"), meshTree(t)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMedlineXMLRoundTrip(t *testing.T) {
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 61, Nodes: 300, TopLevel: 8, MaxDepth: 7})
+	orig := Generate(tree, GenConfig{Seed: 62, Citations: 50, MeanConcepts: 12, FirstID: 4000, YearLo: 1999, YearHi: 2008})
+	all := make([]Citation, 0, orig.Len())
+	for i := 0; i < orig.Len(); i++ {
+		all = append(all, *orig.At(i))
+	}
+	var buf bytes.Buffer
+	if err := WriteMedlineXML(&buf, tree, all); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ParseMedlineXML(bytes.NewReader(buf.Bytes()), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imported != orig.Len() || stats.UnknownDescriptors != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for i, c := range got {
+		o := all[i]
+		if c.ID != o.ID || c.Title != o.Title || c.Year != o.Year {
+			t.Fatalf("citation %d header differs: %+v vs %+v", i, c, o)
+		}
+		if len(c.Authors) != len(o.Authors) {
+			t.Fatalf("citation %d authors differ", i)
+		}
+		// Concepts round-trip exactly (generator output is already
+		// ancestor-closed and the export lists every annotation).
+		if len(c.Concepts) != len(o.Concepts) {
+			t.Fatalf("citation %d concepts: %v vs %v", i, c.Concepts, o.Concepts)
+		}
+		for j := range c.Concepts {
+			if c.Concepts[j] != o.Concepts[j] {
+				t.Fatalf("citation %d concept %d differs", i, j)
+			}
+		}
+	}
+	// The reimported citations must form a valid corpus end-to-end.
+	counts := make([]int64, tree.Len())
+	if _, err := New(tree, got, counts); err != nil {
+		t.Fatal(err)
+	}
+}

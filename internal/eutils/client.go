@@ -1,0 +1,207 @@
+package eutils
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+// Client talks to an eutils endpoint with client-side pacing and 429
+// retry — the discipline the paper's 20-day crawl needed ("the PubMed
+// eutils restrictions on the number of queries that can be executed
+// within a certain period of time").
+type Client struct {
+	BaseURL string
+	// Pace is the minimum delay between requests (client-side politeness);
+	// zero disables pacing.
+	Pace time.Duration
+	// MaxRetries bounds 429/5xx retries per request (default 5).
+	MaxRetries int
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+
+	lastRequest time.Time
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 5
+}
+
+// get performs one paced, retried GET and returns the body.
+func (c *Client) get(ctx context.Context, path string, params url.Values) ([]byte, error) {
+	u := strings.TrimSuffix(c.BaseURL, "/") + path + "?" + params.Encode()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if c.Pace > 0 {
+			if wait := c.Pace - time.Since(c.lastRequest); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			c.lastRequest = time.Now()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("eutils: %w", err)
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if readErr != nil {
+				return nil, fmt.Errorf("eutils: read body: %w", readErr)
+			}
+			return body, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if attempt >= c.maxRetries() {
+				return nil, fmt.Errorf("eutils: %s after %d retries (status %d)", path, attempt, resp.StatusCode)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		default:
+			return nil, fmt.Errorf("eutils: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+}
+
+// ESearch runs a search and returns the full ID list (paging internally)
+// together with the total count the server reports.
+func (c *Client) ESearch(ctx context.Context, term string) ([]corpus.CitationID, int, error) {
+	const page = 500
+	var out []corpus.CitationID
+	total := 0
+	for start := 0; ; {
+		params := url.Values{
+			"db":       {"pubmed"},
+			"term":     {term},
+			"retstart": {strconv.Itoa(start)},
+			"retmax":   {strconv.Itoa(page)},
+		}
+		body, err := c.get(ctx, "/entrez/eutils/esearch.fcgi", params)
+		if err != nil {
+			return nil, 0, err
+		}
+		var res eSearchResult
+		if err := xml.Unmarshal(body, &res); err != nil {
+			return nil, 0, fmt.Errorf("eutils: bad ESearch XML: %w", err)
+		}
+		total = res.Count
+		for _, id := range res.IDs {
+			out = append(out, corpus.CitationID(id))
+		}
+		// Advance by what the server actually returned: it may cap retmax
+		// below our page size.
+		start += len(res.IDs)
+		if start >= res.Count || len(res.IDs) == 0 {
+			break
+		}
+	}
+	return out, total, nil
+}
+
+// Summary is one ESummary record.
+type Summary struct {
+	ID      corpus.CitationID
+	Title   string
+	Year    int
+	Authors []string
+}
+
+// ESummary fetches citation summaries (chunking the ID list).
+func (c *Client) ESummary(ctx context.Context, ids []corpus.CitationID) ([]Summary, error) {
+	const chunk = 200
+	var out []Summary
+	for start := 0; start < len(ids); start += chunk {
+		end := start + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		parts := make([]string, 0, end-start)
+		for _, id := range ids[start:end] {
+			parts = append(parts, strconv.FormatInt(int64(id), 10))
+		}
+		params := url.Values{"db": {"pubmed"}, "id": {strings.Join(parts, ",")}}
+		body, err := c.get(ctx, "/entrez/eutils/esummary.fcgi", params)
+		if err != nil {
+			return nil, err
+		}
+		var res eSummaryResult
+		if err := xml.Unmarshal(body, &res); err != nil {
+			return nil, fmt.Errorf("eutils: bad ESummary XML: %w", err)
+		}
+		for _, d := range res.Docs {
+			out = append(out, Summary{
+				ID:      corpus.CitationID(d.ID),
+				Title:   d.Title,
+				Year:    d.PubYear,
+				Authors: d.Authors,
+			})
+		}
+	}
+	return out, nil
+}
+
+// EFetch retrieves full citation records and parses them against tree (as
+// a real integration would parse PubmedArticleSet XML against its local
+// MeSH copy). Stats accumulate across chunks.
+func (c *Client) EFetch(ctx context.Context, tree *hierarchy.Tree, ids []corpus.CitationID) ([]corpus.Citation, corpus.ImportStats, error) {
+	const chunk = 200
+	var out []corpus.Citation
+	var total corpus.ImportStats
+	for start := 0; start < len(ids); start += chunk {
+		end := start + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		parts := make([]string, 0, end-start)
+		for _, id := range ids[start:end] {
+			parts = append(parts, strconv.FormatInt(int64(id), 10))
+		}
+		params := url.Values{"db": {"pubmed"}, "id": {strings.Join(parts, ",")}}
+		body, err := c.get(ctx, "/entrez/eutils/efetch.fcgi", params)
+		if err != nil {
+			return nil, total, err
+		}
+		cits, stats, err := corpus.ParseMedlineXML(bytes.NewReader(body), tree)
+		if err != nil {
+			return nil, total, fmt.Errorf("eutils: bad EFetch XML: %w", err)
+		}
+		out = append(out, cits...)
+		total.Articles += stats.Articles
+		total.Imported += stats.Imported
+		total.SkippedNoPMID += stats.SkippedNoPMID
+		total.SkippedDuplicate += stats.SkippedDuplicate
+		total.UnknownDescriptors += stats.UnknownDescriptors
+	}
+	return out, total, nil
+}

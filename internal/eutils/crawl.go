@@ -1,0 +1,99 @@
+package eutils
+
+import (
+	"context"
+	"fmt"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+// This file implements the paper's off-line association collection (§VII):
+// "For each concept in the MeSH hierarchy, we issued a query on PubMed
+// using the concept as the keyword. For each citation ID in the query
+// result, we added a tuple (concept, citationID) to a table in the BioNav
+// database. … it took almost 20 days to collect all the tuples." The crawl
+// here runs against the simulated eutils endpoint with the same per-concept
+// query discipline, compressed in time.
+
+// Associations is the crawl output: the denormalized concept↔citation
+// table plus the per-concept result counts the EXPLORE probability needs
+// ("when executing the queries … we also store the number of citations in
+// the query result").
+type Associations struct {
+	ByConcept map[hierarchy.ConceptID][]corpus.CitationID
+	Counts    []int64 // indexed by ConceptID
+	Tuples    int64   // total (concept, citation) pairs collected
+	Queries   int     // eutils queries issued
+}
+
+// Progress receives crawl checkpoints; may be nil.
+type Progress func(done, total int, tuples int64)
+
+// Crawl issues one "[mh]" ESearch per concept of the hierarchy and
+// assembles the associations table. Concepts absent from the corpus yield
+// empty rows (and zero counts), exactly like MeSH concepts with no
+// citations.
+func Crawl(ctx context.Context, c *Client, tree *hierarchy.Tree, progress Progress) (*Associations, error) {
+	out := &Associations{
+		ByConcept: make(map[hierarchy.ConceptID][]corpus.CitationID),
+		Counts:    make([]int64, tree.Len()),
+	}
+	total := tree.Len() - 1
+	for i := 1; i < tree.Len(); i++ {
+		id := hierarchy.ConceptID(i)
+		term := tree.Label(id) + "[mh]"
+		ids, count, err := c.ESearch(ctx, term)
+		if err != nil {
+			return nil, fmt.Errorf("eutils: crawl concept %q: %w", tree.Label(id), err)
+		}
+		out.Queries++
+		if len(ids) > 0 {
+			out.ByConcept[id] = ids
+		}
+		out.Counts[id] = int64(count)
+		out.Tuples += int64(len(ids))
+		if progress != nil && (i%512 == 0 || i == total) {
+			progress(i, total, out.Tuples)
+		}
+	}
+	return out, nil
+}
+
+// Denormalize converts the per-concept table into the per-citation layout
+// the paper stores ("we de-normalized it by concatenating all concepts
+// associated with each citation"): citationID → sorted concept list.
+func (a *Associations) Denormalize() map[corpus.CitationID][]hierarchy.ConceptID {
+	out := make(map[corpus.CitationID][]hierarchy.ConceptID)
+	// Iterate concepts in ID order for deterministic per-citation lists.
+	for c := hierarchy.ConceptID(0); int(c) < len(a.Counts); c++ {
+		for _, cit := range a.ByConcept[c] {
+			out[cit] = append(out[cit], c)
+		}
+	}
+	return out
+}
+
+// VerifyAgainst cross-checks the crawl against the corpus ground truth:
+// every crawled tuple must be a real association and every real association
+// must have been crawled. This is the integration test for the whole
+// off-line pipeline.
+func (a *Associations) VerifyAgainst(corp *corpus.Corpus) error {
+	got := a.Denormalize()
+	for i := 0; i < corp.Len(); i++ {
+		cit := corp.At(i)
+		want := cit.Concepts
+		have := got[cit.ID]
+		if len(want) != len(have) {
+			return fmt.Errorf("eutils: citation %d: crawled %d concepts, corpus has %d",
+				cit.ID, len(have), len(want))
+		}
+		for j := range want {
+			if want[j] != have[j] {
+				return fmt.Errorf("eutils: citation %d: concept %d is %d, corpus has %d",
+					cit.ID, j, have[j], want[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderChart renders numeric columns of a table as grouped horizontal
+// bars — the textual equivalent of the paper's Fig. 8–10 bar charts. The
+// first column supplies row labels; seriesCols pick the numeric columns to
+// plot. Non-numeric cells fail loudly so experiment changes that break the
+// chart are caught by tests.
+func RenderChart(w io.Writer, t *Table, seriesCols []int) error {
+	type row struct {
+		label  string
+		values []float64
+	}
+	rows := make([]row, 0, len(t.Rows))
+	maxVal := 0.0
+	labelWidth := 0
+	for _, cells := range t.Rows {
+		r := row{label: cells[0]}
+		for _, c := range seriesCols {
+			if c <= 0 || c >= len(cells) {
+				return fmt.Errorf("experiments: chart column %d out of range", c)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cells[c], "%"), 64)
+			if err != nil {
+				return fmt.Errorf("experiments: cell %q is not numeric: %v", cells[c], err)
+			}
+			r.values = append(r.values, v)
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+		rows = append(rows, r)
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	const barWidth = 46
+	glyphs := []byte{'#', '=', '-', '+'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (chart)\n", t.ID, t.Title)
+	for si, c := range seriesCols {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], t.Columns[c])
+	}
+	for _, r := range rows {
+		for si, v := range r.values {
+			label := ""
+			if si == 0 {
+				label = r.label
+			}
+			n := int(v / maxVal * barWidth)
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%-*s |%s %v\n", labelWidth, label,
+				strings.Repeat(string(glyphs[si%len(glyphs)]), n), trimFloat(v))
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// trimFloat prints integers without a decimal point.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// ChartColumns returns the series columns to chart for a known experiment
+// ID, or nil when the experiment has no natural bar-chart form.
+func ChartColumns(id string) []int {
+	switch id {
+	case "fig8":
+		return []int{1, 2} // static vs BioNav navigation cost
+	case "fig9":
+		return []int{1, 2} // static vs BioNav EXPAND actions
+	case "fig10":
+		return []int{2} // average |T_R|
+	default:
+		return nil
+	}
+}

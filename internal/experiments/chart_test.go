@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasic(t *testing.T) {
+	tab := &Table{
+		ID: "Fig. X", Title: "demo",
+		Columns: []string{"q", "Static", "BioNav"},
+		Rows: [][]string{
+			{"alpha", "100", "20"},
+			{"beta", "50", "10"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("chart = %q", out)
+	}
+	// The 100-value bar must be the longest.
+	lines := strings.Split(out, "\n")
+	longest, has100 := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > longest {
+			longest, has100 = n, l
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(has100), "100") {
+		t.Fatalf("longest bar is not the max value: %q", has100)
+	}
+}
+
+func TestRenderChartPercentAndFloats(t *testing.T) {
+	tab := &Table{
+		ID: "F", Title: "t",
+		Columns: []string{"q", "imp"},
+		Rows:    [][]string{{"a", "85%"}, {"b", "6.4"}},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6.40") {
+		t.Fatalf("chart = %q", buf.String())
+	}
+}
+
+func TestRenderChartRejectsBadInput(t *testing.T) {
+	tab := &Table{
+		ID: "F", Title: "t",
+		Columns: []string{"q", "v"},
+		Rows:    [][]string{{"a", "not-a-number"}},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab, []int{1}); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+	if err := RenderChart(&buf, tab, []int{9}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestRenderChartOnRealFig8(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab, ChartColumns("fig8")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prothymosin") {
+		t.Fatal("fig8 chart missing query labels")
+	}
+}
+
+func TestChartColumns(t *testing.T) {
+	if ChartColumns("fig8") == nil || ChartColumns("fig9") == nil || ChartColumns("fig10") == nil {
+		t.Fatal("figure charts missing")
+	}
+	if ChartColumns("table1") != nil {
+		t.Fatal("table1 should have no chart")
+	}
+}

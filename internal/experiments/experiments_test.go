@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bionav/internal/workload"
+)
+
+// testRunner builds a runner on a shrunken but complete Table I workload.
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	// Keep the paper's result sizes (the cost model's 50/10 thresholds are
+	// calibrated for them) but shrink the hierarchy, the annotation density
+	// and the background corpus for speed.
+	specs := workload.TableI()
+	for i := range specs {
+		specs[i].MeanConcepts = 40
+	}
+	r, err := NewRunner(workload.Config{
+		Seed: 2009, HierarchyNodes: 8000, Background: 100, Specs: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTableIRowsPerQuery(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(r.W.Queries) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(r.W.Queries))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+		// NavTree size must exceed the citation count (annotation blow-up).
+		cits, _ := strconv.Atoi(row[1])
+		size, _ := strconv.Atoi(row[2])
+		if size <= cits {
+			t.Errorf("%s: nav tree size %d not larger than result size %d", row[0], size, cits)
+		}
+		dup, _ := strconv.Atoi(row[5])
+		if dup <= size {
+			t.Errorf("%s: citations-with-duplicates %d not larger than tree size %d", row[0], dup, size)
+		}
+	}
+}
+
+func TestFig8ShapeMatchesPaper(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalStatic, totalBio := 0, 0
+	for _, row := range tab.Rows {
+		s, _ := strconv.Atoi(row[1])
+		b, _ := strconv.Atoi(row[2])
+		if s <= 0 || b <= 0 {
+			t.Fatalf("row %v has non-positive costs", row)
+		}
+		totalStatic += s
+		totalBio += b
+		// No query may be drastically worse under BioNav.
+		if b > 2*s {
+			t.Errorf("%s: BioNav %d more than twice static %d", row[0], b, s)
+		}
+	}
+	// The headline: large aggregate improvement.
+	if improvement := 1 - float64(totalBio)/float64(totalStatic); improvement < 0.30 {
+		t.Errorf("aggregate improvement %.0f%% below 30%%", improvement*100)
+	} else {
+		t.Logf("aggregate improvement: %.0f%% (static %d, BioNav %d)",
+			improvement*100, totalStatic, totalBio)
+	}
+}
+
+func TestFig9ExpandCountsClose(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		s, _ := strconv.Atoi(row[1])
+		b, _ := strconv.Atoi(row[2])
+		// The paper's worst gap is 8 vs 3; allow up to 5x but both small.
+		if b > 5*s+5 {
+			t.Errorf("%s: BioNav EXPANDs %d vs static %d out of the paper's regime", row[0], b, s)
+		}
+		if b > 40 {
+			t.Errorf("%s: %d BioNav EXPANDs is far beyond the paper's ≤8", row[0], b)
+		}
+	}
+}
+
+func TestFig10And11Populate(t *testing.T) {
+	r := testRunner(t)
+	f10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Rows) != len(r.W.Queries) {
+		t.Fatalf("Fig10 rows = %d", len(f10.Rows))
+	}
+	f11, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.Rows) == 0 {
+		t.Fatal("Fig11 has no EXPAND rows")
+	}
+	for _, row := range f11.Rows {
+		parts, _ := strconv.Atoi(row[1])
+		if parts < 2 || parts > 10 {
+			t.Errorf("Fig11 partitions %s out of [2,10]", row[1])
+		}
+	}
+}
+
+func TestIntroExample(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Intro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("intro rows = %d", len(tab.Rows))
+	}
+	// BioNav must reveal far fewer concepts than static on prothymosin.
+	var bio, static int
+	for _, row := range tab.Rows {
+		if strings.Contains(row[0], "static") && strings.Contains(row[0], "concepts") {
+			static, _ = strconv.Atoi(row[1])
+		}
+		if strings.Contains(row[0], "BioNav") && strings.Contains(row[0], "concepts") {
+			bio, _ = strconv.Atoi(row[1])
+		}
+	}
+	if static == 0 || bio == 0 || bio >= static {
+		t.Errorf("intro: BioNav %d vs static %d concepts", bio, static)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := testRunner(t)
+	for _, id := range []string{"ablation-k", "ablation-expandcost", "ablation-model"} {
+		tab, err := r.Experiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) < 2 {
+			t.Fatalf("%s: only %d rows", id, len(tab.Rows))
+		}
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	r := testRunner(t)
+	for _, id := range ExperimentIDs() {
+		if _, err := r.Experiment(id); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if _, err := r.Experiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllRenders(t *testing.T) {
+	r := testRunner(t)
+	var buf bytes.Buffer
+	if err := r.All(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "prothymosin", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "t",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"lengthy", "1"}},
+		Notes:   []string{"n"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lengthy") || !strings.Contains(buf.String(), "note: n") {
+		t.Fatalf("render = %q", buf.String())
+	}
+}

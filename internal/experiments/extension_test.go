@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRefinementExperiment(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Refinement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(r.W.Queries) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	lossy := 0
+	for _, row := range tab.Rows {
+		recall, err := strconv.Atoi(strings.TrimSuffix(row[4], "%"))
+		if err != nil || recall < 0 || recall > 100 {
+			t.Fatalf("row %v has bad recall", row)
+		}
+		if recall < 100 {
+			lossy++
+		}
+		finalSize, _ := strconv.Atoi(row[2])
+		if finalSize <= 0 {
+			t.Fatalf("row %v has empty final result", row)
+		}
+	}
+	// The experiment's point: frequency-guided refinement loses recall on
+	// most queries.
+	if lossy < len(tab.Rows)/2 {
+		t.Fatalf("only %d of %d queries lost recall; experiment degenerate", lossy, len(tab.Rows))
+	}
+}
+
+func TestRobustnessExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed workload synthesis is slow")
+	}
+	r := testRunner(t)
+	tab, err := r.Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		imp, err := strconv.Atoi(strings.TrimSuffix(row[3], "%"))
+		if err != nil {
+			t.Fatalf("row %v", row)
+		}
+		if imp < 30 {
+			t.Errorf("seed %s improvement %d%% below 30%%", row[0], imp)
+		}
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "±") {
+		t.Fatalf("notes = %v", tab.Notes)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	m, sd := meanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if sd < 2.1 || sd > 2.2 { // sample stddev ≈ 2.138
+		t.Fatalf("sd = %v", sd)
+	}
+	if m, sd := meanStddev([]float64{42}); m != 42 || sd != 0 {
+		t.Fatalf("singleton: %v %v", m, sd)
+	}
+}

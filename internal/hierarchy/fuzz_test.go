@@ -1,0 +1,41 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMeSHASCII: arbitrary descriptor files must parse into a valid
+// tree or error — never panic.
+func FuzzParseMeSHASCII(f *testing.F) {
+	f.Add(sampleMeSH)
+	f.Add("*NEWRECORD\nMH = X\nMN = A01\n")
+	f.Add("*NEWRECORD\nMN = A01.047\nMH = Y\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseMeSHASCII(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed tree invalid: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeHierarchy: arbitrary text must decode into a valid tree or
+// error cleanly.
+func FuzzDecodeHierarchy(f *testing.F) {
+	f.Add("bionav-hierarchy v1 2\n-1\troot\n0\tchild\n")
+	f.Add("bionav-hierarchy v1 1\n-1\troot\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded tree invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"bionav/internal/rng"
+)
+
+// GenConfig controls the synthetic hierarchy generator. The zero value is
+// not useful; start from DefaultGenConfig.
+type GenConfig struct {
+	Seed     uint64
+	Nodes    int // total concepts, including the root
+	TopLevel int // children of the root (MeSH has 16 categories)
+	MaxDepth int // maximum node depth (MeSH tree numbers go ~12 deep)
+}
+
+// DefaultGenConfig mirrors the 2008 MeSH hierarchy as the paper's
+// navigation trees see it: about 48,000 concept nodes whose top level is
+// the ~112 MeSH subcategories (A01 Body Regions, D12 Amino Acids, …) — the
+// paper's Fig. 1 shows 98 of them as children of the root — with the tree
+// "quite bushy on the upper levels" (§I).
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Seed: 2009, Nodes: 48000, TopLevel: 112, MaxDepth: 11}
+}
+
+// Generate builds a synthetic MeSH-like concept hierarchy. The same config
+// always yields the identical tree. It panics only on programmer error
+// (invalid config); generation itself cannot fail.
+func Generate(cfg GenConfig) *Tree {
+	if cfg.Nodes < cfg.TopLevel+1 {
+		panic(fmt.Sprintf("hierarchy: Nodes=%d too small for TopLevel=%d", cfg.Nodes, cfg.TopLevel))
+	}
+	if cfg.TopLevel < 1 || cfg.MaxDepth < 2 {
+		panic("hierarchy: TopLevel must be >= 1 and MaxDepth >= 2")
+	}
+	src := rng.New(cfg.Seed)
+	names := newLabelMaker(src.Split())
+	b := NewBuilder("MESH")
+
+	// Budget for each top-level category: a mild Zipf so some categories
+	// (like MeSH's "Chemicals and Drugs") are much larger than others.
+	budgets := splitBudget(src, cfg.Nodes-1-cfg.TopLevel, cfg.TopLevel, 0.6)
+	for i := 0; i < cfg.TopLevel; i++ {
+		cat := b.Add(0, names.category(i))
+		growSubtree(b, src, names, cat, budgets[i], 2, cfg.MaxDepth)
+	}
+	t, err := b.Build()
+	if err != nil {
+		// Labels are generated unique by construction; a duplicate is a bug.
+		panic("hierarchy: generator produced duplicate labels: " + err.Error())
+	}
+	return t
+}
+
+// growSubtree adds budget descendants under parent, whose direct children
+// will sit at childDepth (= parent depth + 1). Branching factor decays with
+// depth, which concentrates width at the top of the tree exactly as the
+// paper observes for MeSH.
+func growSubtree(b *Builder, src *rng.Source, names *labelMaker, parent ConceptID, budget, childDepth, maxDepth int) {
+	if budget <= 0 {
+		return
+	}
+	if childDepth >= maxDepth {
+		// Flatten the remaining budget as leaves at the depth limit; this
+		// keeps node counts exact even when the budget outruns the depth.
+		for i := 0; i < budget; i++ {
+			b.Add(parent, names.concept(src, childDepth))
+		}
+		return
+	}
+	maxBranch := branchLimit(childDepth)
+	if maxBranch > budget {
+		maxBranch = budget
+	}
+	nc := 1 + src.Intn(maxBranch)
+	children := make([]ConceptID, nc)
+	for i := range children {
+		children[i] = b.Add(parent, names.concept(src, childDepth))
+	}
+	rest := splitBudget(src, budget-nc, nc, 0.8)
+	for i, c := range children {
+		growSubtree(b, src, names, c, rest[i], childDepth+1, maxDepth)
+	}
+}
+
+// branchLimit returns the maximum number of children generated at the given
+// depth. Values are tuned so a 48k-node tree reaches depth ~11 with the
+// upper two levels carrying most of the width.
+func branchLimit(depth int) int {
+	switch depth {
+	case 2:
+		return 36
+	case 3:
+		return 18
+	case 4:
+		return 10
+	case 5:
+		return 7
+	case 6:
+		return 5
+	default:
+		return 3
+	}
+}
+
+// splitBudget divides total into parts non-negative shares. Shares follow a
+// Zipf-ish skew over a random permutation so sibling subtree sizes vary
+// widely (MeSH subtrees are far from balanced).
+func splitBudget(src *rng.Source, total, parts int, skew float64) []int {
+	out := make([]int, parts)
+	if total <= 0 {
+		return out
+	}
+	weights := make([]float64, parts)
+	sum := 0.0
+	for i := range weights {
+		w := src.ExpFloat64() + skew
+		weights[i] = w
+		sum += w
+	}
+	assigned := 0
+	for i := range out {
+		out[i] = int(float64(total) * weights[i] / sum)
+		assigned += out[i]
+	}
+	// Distribute rounding remainder one by one, deterministically.
+	for i := 0; assigned < total; i = (i + 1) % parts {
+		out[i]++
+		assigned++
+	}
+	return out
+}

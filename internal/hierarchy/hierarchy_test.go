@@ -1,0 +1,339 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"bionav/internal/rng"
+)
+
+// smallTree builds the fragment of Fig. 3 from the paper:
+//
+//	MESH
+//	└── Biological Phenomena
+//	    ├── Cell Physiology
+//	    │   ├── Cell Death
+//	    │   │   ├── Autophagy
+//	    │   │   ├── Apoptosis
+//	    │   │   └── Necrosis
+//	    │   └── Cell Growth Processes
+//	    │       ├── Cell Proliferation
+//	    │       └── Cell Division
+//	    └── Genetic Processes
+func smallTree(t *testing.T) *Tree {
+	t.Helper()
+	b := NewBuilder("MESH")
+	bio := b.Add(0, "Biological Phenomena")
+	phys := b.Add(bio, "Cell Physiology")
+	death := b.Add(phys, "Cell Death")
+	b.Add(death, "Autophagy")
+	b.Add(death, "Apoptosis")
+	b.Add(death, "Necrosis")
+	growth := b.Add(phys, "Cell Growth Processes")
+	b.Add(growth, "Cell Proliferation")
+	b.Add(growth, "Cell Division")
+	b.Add(bio, "Genetic Processes")
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func mustID(t *testing.T, tr *Tree, label string) ConceptID {
+	t.Helper()
+	id, ok := tr.ByLabel(label)
+	if !ok {
+		t.Fatalf("label %q not found", label)
+	}
+	return id
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tr := smallTree(t)
+	if tr.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", tr.Len())
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("Height = %d, want 4", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.Label(tr.Root()); got != "MESH" {
+		t.Fatalf("root label = %q", got)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	b := NewBuilder("root")
+	b.Add(0, "x")
+	b.Add(0, "x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted duplicate labels")
+	}
+}
+
+func TestBuildTwiceRejected(t *testing.T) {
+	b := NewBuilder("root")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build did not fail")
+	}
+}
+
+func TestAddAfterBuildPanics(t *testing.T) {
+	b := NewBuilder("root")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Build did not panic")
+		}
+	}()
+	b.Add(0, "x")
+}
+
+func TestTreeIDs(t *testing.T) {
+	tr := smallTree(t)
+	cases := map[string]string{
+		"MESH":                  "",
+		"Biological Phenomena":  "A01",
+		"Cell Physiology":       "A01.001",
+		"Cell Death":            "A01.001.001",
+		"Apoptosis":             "A01.001.001.002",
+		"Cell Growth Processes": "A01.001.002",
+		"Genetic Processes":     "A01.002",
+	}
+	for label, want := range cases {
+		id := mustID(t, tr, label)
+		if got := tr.Node(id).TreeID; got != want {
+			t.Errorf("%s: TreeID = %q, want %q", label, got, want)
+		}
+	}
+	// Round-trip via ByTreeID.
+	for label, tid := range cases {
+		if tid == "" {
+			continue
+		}
+		got, ok := tr.ByTreeID(tid)
+		if !ok || tr.Label(got) != label {
+			t.Errorf("ByTreeID(%q) = %v,%v; want %s", tid, got, ok, label)
+		}
+	}
+}
+
+func TestIsAncestorAndPath(t *testing.T) {
+	tr := smallTree(t)
+	apo := mustID(t, tr, "Apoptosis")
+	phys := mustID(t, tr, "Cell Physiology")
+	gen := mustID(t, tr, "Genetic Processes")
+
+	if !tr.IsAncestor(tr.Root(), apo) {
+		t.Error("root should be ancestor of Apoptosis")
+	}
+	if !tr.IsAncestor(phys, apo) {
+		t.Error("Cell Physiology should be ancestor of Apoptosis")
+	}
+	if tr.IsAncestor(apo, phys) {
+		t.Error("Apoptosis must not be ancestor of Cell Physiology")
+	}
+	if tr.IsAncestor(apo, apo) {
+		t.Error("a node is not its own proper ancestor")
+	}
+	if tr.IsAncestor(gen, apo) {
+		t.Error("Genetic Processes is not an ancestor of Apoptosis")
+	}
+
+	path := tr.Path(apo)
+	var labels []string
+	for _, id := range path {
+		labels = append(labels, tr.Label(id))
+	}
+	want := "MESH/Biological Phenomena/Cell Physiology/Cell Death/Apoptosis"
+	if got := strings.Join(labels, "/"); got != want {
+		t.Errorf("Path = %s, want %s", got, want)
+	}
+}
+
+func TestWalksAndSubtreeSize(t *testing.T) {
+	tr := smallTree(t)
+	phys := mustID(t, tr, "Cell Physiology")
+	if n := tr.SubtreeSize(phys); n != 8 {
+		t.Errorf("SubtreeSize(Cell Physiology) = %d, want 8", n)
+	}
+	if n := tr.SubtreeSize(tr.Root()); n != tr.Len() {
+		t.Errorf("SubtreeSize(root) = %d, want %d", n, tr.Len())
+	}
+
+	// Pre-order with pruning: skipping Cell Death's subtree.
+	var visited []string
+	tr.PreOrder(phys, func(id ConceptID) bool {
+		visited = append(visited, tr.Label(id))
+		return tr.Label(id) != "Cell Death"
+	})
+	want := []string{"Cell Physiology", "Cell Death", "Cell Growth Processes", "Cell Proliferation", "Cell Division"}
+	if len(visited) != len(want) {
+		t.Fatalf("pruned pre-order = %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("pruned pre-order = %v, want %v", visited, want)
+		}
+	}
+
+	// Post-order visits children before parents.
+	pos := map[string]int{}
+	i := 0
+	tr.PostOrder(tr.Root(), func(id ConceptID) {
+		pos[tr.Label(id)] = i
+		i++
+	})
+	if pos["Apoptosis"] > pos["Cell Death"] || pos["Cell Death"] > pos["Cell Physiology"] {
+		t.Errorf("post-order violates child-before-parent: %v", pos)
+	}
+	if i != tr.Len() {
+		t.Errorf("post-order visited %d nodes, want %d", i, tr.Len())
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	tr := smallTree(t)
+	death := mustID(t, tr, "Cell Death")
+	desc := tr.Descendants(death)
+	if len(desc) != 3 {
+		t.Fatalf("Descendants(Cell Death) = %d nodes, want 3", len(desc))
+	}
+	for _, d := range desc {
+		if !tr.IsAncestor(death, d) {
+			t.Errorf("%s not under Cell Death", tr.Label(d))
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := smallTree(t)
+	s := tr.ComputeStats()
+	if s.Nodes != 11 || s.Height != 4 || s.TopLevel != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Leaves != 6 {
+		t.Errorf("Leaves = %d, want 6", s.Leaves)
+	}
+	if s.MaxFanout != 3 {
+		t.Errorf("MaxFanout = %d, want 3", s.MaxFanout)
+	}
+	wantWidths := []int{1, 1, 2, 2, 5}
+	for d, w := range wantWidths {
+		if s.LevelWidths[d] != w {
+			t.Errorf("LevelWidths[%d] = %d, want %d", d, s.LevelWidths[d], w)
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := smallTree(t)
+	tr.nodes[3].Parent = 9 // sever a link
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted tree")
+	}
+}
+
+func TestSortedLabels(t *testing.T) {
+	tr := smallTree(t)
+	labels := tr.SortedLabels()
+	if len(labels) != tr.Len() {
+		t.Fatalf("len = %d", len(labels))
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i-1] >= labels[i] {
+			t.Fatalf("not sorted at %d: %q >= %q", i, labels[i-1], labels[i])
+		}
+	}
+}
+
+func TestByTreeIDPrefix(t *testing.T) {
+	tr := smallTree(t)
+	// "A01.001" = Cell Physiology: its subtree spans 8 nodes.
+	got := tr.ByTreeIDPrefix("A01.001")
+	if len(got) != 8 {
+		t.Fatalf("prefix matched %d nodes, want 8", len(got))
+	}
+	phys := mustID(t, tr, "Cell Physiology")
+	for _, id := range got {
+		if id != phys && !tr.IsAncestor(phys, id) {
+			t.Fatalf("%s not under Cell Physiology", tr.Label(id))
+		}
+	}
+	// Exact boundary: "A01.001" must not match a hypothetical "A01.0010…";
+	// here check "A01" matches the whole Biological Phenomena subtree but
+	// not nothing else.
+	if got := tr.ByTreeIDPrefix("A01"); len(got) != tr.Len()-1 {
+		t.Fatalf("A01 matched %d nodes", len(got))
+	}
+	if got := tr.ByTreeIDPrefix("Z99"); got != nil {
+		t.Fatalf("bogus prefix matched %v", got)
+	}
+	// Empty prefix matches everything including the root.
+	if got := tr.ByTreeIDPrefix(""); len(got) != tr.Len() {
+		t.Fatalf("empty prefix matched %d", len(got))
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := smallTree(t)
+	apo := mustID(t, tr, "Apoptosis")
+	necr := mustID(t, tr, "Necrosis")
+	prolif := mustID(t, tr, "Cell Proliferation")
+	death := mustID(t, tr, "Cell Death")
+	phys := mustID(t, tr, "Cell Physiology")
+	gen := mustID(t, tr, "Genetic Processes")
+
+	cases := []struct {
+		a, b, want ConceptID
+	}{
+		{apo, necr, death},
+		{apo, prolif, phys},
+		{apo, apo, apo},
+		{apo, death, death},
+		{apo, gen, mustID(t, tr, "Biological Phenomena")},
+		{tr.Root(), apo, tr.Root()},
+	}
+	for _, c := range cases {
+		if got := tr.LCA(c.a, c.b); got != c.want {
+			t.Errorf("LCA(%s,%s) = %s, want %s",
+				tr.Label(c.a), tr.Label(c.b), tr.Label(got), tr.Label(c.want))
+		}
+		if got := tr.LCA(c.b, c.a); got != c.want {
+			t.Errorf("LCA symmetric violation for (%s,%s)", tr.Label(c.a), tr.Label(c.b))
+		}
+	}
+}
+
+func TestLCAPropertyOnGenerated(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 44, Nodes: 800, TopLevel: 12, MaxDepth: 9})
+	src := rng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		a := ConceptID(src.Intn(tr.Len()))
+		b := ConceptID(src.Intn(tr.Len()))
+		l := tr.LCA(a, b)
+		// l is an ancestor-or-self of both.
+		if l != a && !tr.IsAncestor(l, a) {
+			t.Fatalf("LCA %d not ancestor of %d", l, a)
+		}
+		if l != b && !tr.IsAncestor(l, b) {
+			t.Fatalf("LCA %d not ancestor of %d", l, b)
+		}
+		// No child of l is an ancestor of both (lowest-ness).
+		for _, c := range tr.Children(l) {
+			aUnder := c == a || tr.IsAncestor(c, a)
+			bUnder := c == b || tr.IsAncestor(c, b)
+			if aUnder && bUnder {
+				t.Fatalf("LCA %d not lowest: child %d covers both", l, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+
+	"bionav/internal/rng"
+)
+
+// labelMaker produces unique, plausibly biomedical concept labels. Labels
+// combine a qualifier, a stem, and a head noun; collisions are resolved by
+// appending a Roman-numeral variant, mimicking MeSH entries like
+// "Receptors, Adrenergic, beta-2".
+type labelMaker struct {
+	src  *rng.Source
+	used map[string]int
+}
+
+func newLabelMaker(src *rng.Source) *labelMaker {
+	return &labelMaker{src: src, used: make(map[string]int)}
+}
+
+// categoryNames are the 16 MeSH top-level categories (2008 edition), used
+// verbatim so navigation output reads like the paper's figures.
+var categoryNames = []string{
+	"Anatomy",
+	"Organisms",
+	"Diseases",
+	"Chemicals and Drugs",
+	"Analytical, Diagnostic and Therapeutic Techniques and Equipment",
+	"Psychiatry and Psychology",
+	"Biological Sciences",
+	"Natural Sciences",
+	"Anthropology, Education, Sociology and Social Phenomena",
+	"Technology, Industry, Agriculture",
+	"Humanities",
+	"Information Science",
+	"Named Groups",
+	"Health Care",
+	"Publication Characteristics",
+	"Geographicals",
+}
+
+// category names the i-th top-level node. The first 16 reuse the MeSH
+// letter-category names; the rest read like MeSH subcategories ("Amino
+// Acids, Peptides, and Proteins"), built from the stem vocabulary.
+func (m *labelMaker) category(i int) string {
+	if i < len(categoryNames) {
+		return m.unique(categoryNames[i])
+	}
+	a := plural(stems[(i*7)%len(stems)])
+	b := plural(stems[(i*13+5)%len(stems)])
+	return m.unique(fmt.Sprintf("%s, %s and Related Structures", a, b))
+}
+
+var stems = []string{
+	"Thymosin", "Kinase", "Receptor", "Apoptosis", "Chromatin", "Nucleoprotein",
+	"Permease", "Symporter", "Follistatin", "Histone", "Cytokine", "Ligand",
+	"Transporter", "Polymerase", "Protease", "Phosphatase", "Integrin",
+	"Collagen", "Fibroblast", "Lymphocyte", "Macrophage", "Neuron", "Axon",
+	"Synapse", "Dendrite", "Mitochondrion", "Ribosome", "Lysosome", "Peroxisome",
+	"Membrane", "Vesicle", "Plasmid", "Genome", "Transcript", "Codon",
+	"Promoter", "Enhancer", "Operon", "Allele", "Mutation", "Polymorphism",
+	"Carcinoma", "Sarcoma", "Lymphoma", "Leukemia", "Melanoma", "Glioma",
+	"Nephropathy", "Neuropathy", "Myopathy", "Dermatitis", "Hepatitis",
+	"Nephritis", "Arthritis", "Fibrosis", "Stenosis", "Thrombosis", "Embolism",
+	"Ischemia", "Hypoxia", "Agonist", "Antagonist", "Inhibitor", "Activator",
+	"Antibody", "Antigen", "Epitope", "Vaccine", "Serum", "Plasma",
+	"Peptide", "Protein", "Enzyme", "Hormone", "Steroid", "Lipid",
+	"Glycoprotein", "Proteoglycan", "Nucleotide", "Nucleoside", "Oligomer",
+	"Dimer", "Channel", "Pump", "Pore", "Junction", "Cascade", "Pathway",
+	"Signal", "Factor", "Marker", "Domain", "Motif", "Complex", "Subunit",
+	"Isoform", "Variant", "Homolog", "Ortholog", "Paralog", "Cluster",
+}
+
+var qualifiers = []string{
+	"", "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Neonatal", "Adult",
+	"Fetal", "Murine", "Human", "Bovine", "Avian", "Viral", "Bacterial",
+	"Fungal", "Mitotic", "Meiotic", "Somatic", "Germline", "Hepatic",
+	"Renal", "Cardiac", "Neural", "Vascular", "Epithelial", "Mesenchymal",
+	"Embryonic", "Cortical", "Spinal", "Gastric", "Pulmonary", "Dermal",
+	"Ocular", "Auditory", "Olfactory", "Endocrine", "Exocrine", "Synaptic",
+	"Nuclear", "Cytoplasmic", "Membranous", "Soluble", "Recombinant",
+	"Oncogenic", "Tumoral", "Chronic", "Acute", "Latent", "Recurrent",
+}
+
+var heads = []string{
+	"", "Regulation", "Expression", "Binding", "Transport", "Metabolism",
+	"Synthesis", "Degradation", "Signaling", "Activation", "Repression",
+	"Localization", "Assembly", "Folding", "Secretion", "Uptake",
+	"Phosphorylation", "Methylation", "Acetylation", "Glycosylation",
+	"Ubiquitination", "Oxidation", "Reduction", "Cleavage", "Splicing",
+	"Replication", "Repair", "Recombination", "Translation", "Transcription",
+	"Proliferation", "Differentiation", "Migration", "Adhesion", "Invasion",
+	"Development", "Morphogenesis", "Homeostasis", "Response", "Tolerance",
+}
+
+var romans = []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"}
+
+// concept returns a fresh unique label for a node at the given depth.
+// Shallow nodes use broader-sounding labels (stem + head), deeper nodes add
+// qualifiers, so label specificity grows with depth as MeSH semantics demand.
+func (m *labelMaker) concept(src *rng.Source, depth int) string {
+	stem := stems[src.Intn(len(stems))]
+	var base string
+	switch {
+	case depth <= 2:
+		head := heads[src.Intn(len(heads))]
+		if head == "" {
+			base = plural(stem)
+		} else {
+			base = stem + " " + head
+		}
+	default:
+		q := qualifiers[src.Intn(len(qualifiers))]
+		head := heads[src.Intn(len(heads))]
+		switch {
+		case q == "" && head == "":
+			base = stem
+		case q == "":
+			base = stem + " " + head
+		case head == "":
+			base = q + " " + stem
+		default:
+			base = q + " " + stem + " " + head
+		}
+	}
+	return m.unique(base)
+}
+
+// unique returns base, or base suffixed with a Roman numeral (then a number)
+// to guarantee global uniqueness.
+func (m *labelMaker) unique(base string) string {
+	n := m.used[base]
+	m.used[base] = n + 1
+	if n == 0 {
+		return base
+	}
+	if n <= len(romans) {
+		return fmt.Sprintf("%s, Type %s", base, romans[n-1])
+	}
+	return fmt.Sprintf("%s (%d)", base, n)
+}
+
+// plural forms an English plural good enough for biomedical nouns.
+func plural(s string) string {
+	switch {
+	case strings.HasSuffix(s, "is"):
+		return s[:len(s)-2] + "es" // Thrombosis → Thromboses
+	case strings.HasSuffix(s, "y"):
+		return s[:len(s)-1] + "ies" // Nephropathy → Nephropathies
+	case strings.HasSuffix(s, "on") && (strings.HasSuffix(s, "rion") || strings.HasSuffix(s, "xon")):
+		return s[:len(s)-2] + "a" // Mitochondrion → Mitochondria
+	case strings.HasSuffix(s, "s") || strings.HasSuffix(s, "x"):
+		return s + "es"
+	default:
+		return s + "s"
+	}
+}

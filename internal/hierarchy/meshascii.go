@@ -1,0 +1,153 @@
+package hierarchy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file reads and writes the NLM MeSH ASCII exchange format (the
+// "d2008.bin" descriptor files the paper downloaded: "the BioNav database
+// is first populated with the MeSH hierarchy, which is available online").
+// Records look like:
+//
+//	*NEWRECORD
+//	RECTYPE = D
+//	MH = Body Regions
+//	MN = A01
+//	MN = C23.888          (a descriptor may sit at several tree positions)
+//
+// MeSH is a DAG over tree *numbers*: each MN is one position. BioNav (and
+// this package) works on the tree of positions, so parsing creates one
+// node per tree number; a descriptor's first position keeps the bare
+// label and additional positions get a " (MN)" suffix to keep labels
+// unique, mirroring how MeSH browsers disambiguate.
+
+// ParseMeSHASCII builds a hierarchy from a MeSH descriptor file. Records
+// without MN lines (qualifiers, check tags) are skipped. Tree numbers with
+// missing ancestors attach to their nearest present prefix (ultimately a
+// synthesized top-level category), so partial exports still load.
+func ParseMeSHASCII(r io.Reader) (*Tree, error) {
+	type rec struct {
+		mh  string
+		mns []string
+	}
+	var recs []rec
+	var cur *rec
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "*NEWRECORD":
+			recs = append(recs, rec{})
+			cur = &recs[len(recs)-1]
+		case line == "" || !strings.Contains(line, "="):
+			continue
+		default:
+			key, val, _ := strings.Cut(line, "=")
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			if cur == nil {
+				return nil, fmt.Errorf("hierarchy: mesh line %d: field %q before *NEWRECORD", lineNo, key)
+			}
+			switch key {
+			case "MH":
+				if cur.mh != "" {
+					return nil, fmt.Errorf("hierarchy: mesh line %d: duplicate MH in record", lineNo)
+				}
+				cur.mh = val
+			case "MN":
+				if val == "" {
+					return nil, fmt.Errorf("hierarchy: mesh line %d: empty MN", lineNo)
+				}
+				cur.mns = append(cur.mns, val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hierarchy: read mesh: %w", err)
+	}
+
+	// Collect (treeNumber → label) pairs, first position bare.
+	type position struct {
+		mn    string
+		label string
+	}
+	var positions []position
+	seenMN := make(map[string]bool)
+	for _, rc := range recs {
+		if rc.mh == "" || len(rc.mns) == 0 {
+			continue
+		}
+		for i, mn := range rc.mns {
+			if seenMN[mn] {
+				return nil, fmt.Errorf("hierarchy: mesh: tree number %s appears twice", mn)
+			}
+			seenMN[mn] = true
+			label := rc.mh
+			if i > 0 {
+				label = fmt.Sprintf("%s (%s)", rc.mh, mn)
+			}
+			positions = append(positions, position{mn: mn, label: label})
+		}
+	}
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("hierarchy: mesh: no descriptor records with tree numbers")
+	}
+
+	// Lexicographic order puts every ancestor prefix before its
+	// descendants ("A01" < "A01.111" < "A01.111.236").
+	sort.Slice(positions, func(i, j int) bool { return positions[i].mn < positions[j].mn })
+
+	b := NewBuilder("MESH")
+	byMN := make(map[string]ConceptID, len(positions))
+	for _, p := range positions {
+		parent := ConceptID(0)
+		if prefix := meshParent(p.mn); prefix != "" {
+			// Walk shortening prefixes until one exists; tolerate gaps.
+			for pr := prefix; ; pr = meshParent(pr) {
+				if id, ok := byMN[pr]; ok {
+					parent = id
+					break
+				}
+				if pr == "" {
+					break
+				}
+			}
+		}
+		byMN[p.mn] = b.Add(parent, p.label)
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: mesh: %w", err)
+	}
+	return t, nil
+}
+
+// meshParent strips the last dotted component of a tree number; top-level
+// numbers ("A01") have no parent.
+func meshParent(mn string) string {
+	if i := strings.LastIndexByte(mn, '.'); i >= 0 {
+		return mn[:i]
+	}
+	return ""
+}
+
+// WriteMeSHASCII exports a hierarchy in the descriptor format, using each
+// node's positional TreeID as its MN. The root is implicit (it has no
+// record), matching the real files.
+func WriteMeSHASCII(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	for i := 1; i < t.Len(); i++ {
+		n := t.Node(ConceptID(i))
+		if _, err := fmt.Fprintf(bw, "*NEWRECORD\nRECTYPE = D\nMH = %s\nMN = %s\n\n", n.Label, n.TreeID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,157 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleMeSH = `*NEWRECORD
+RECTYPE = D
+MH = Body Regions
+MN = A01
+
+*NEWRECORD
+RECTYPE = D
+MH = Abdomen
+MN = A01.047
+
+*NEWRECORD
+RECTYPE = D
+MH = Abdominal Cavity
+MN = A01.047.025
+
+*NEWRECORD
+RECTYPE = D
+MH = Musculoskeletal System
+MN = A02
+
+*NEWRECORD
+RECTYPE = D
+MH = Histones
+MN = D12.776.920.632
+MN = D05.750.078.930
+
+*NEWRECORD
+RECTYPE = Q
+SH = metabolism
+
+*NEWRECORD
+RECTYPE = D
+MH = Proteins
+MN = D12.776
+`
+
+func TestParseMeSHASCII(t *testing.T) {
+	tr, err := ParseMeSHASCII(strings.NewReader(sampleMeSH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Records: A01, A01.047, A01.047.025, A02, two Histones positions,
+	// D12.776 → 7 concepts + root. The qualifier record is skipped.
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+
+	abd, ok := tr.ByLabel("Abdominal Cavity")
+	if !ok {
+		t.Fatal("Abdominal Cavity missing")
+	}
+	parent := tr.Parent(abd)
+	if tr.Label(parent) != "Abdomen" {
+		t.Fatalf("parent of Abdominal Cavity = %q", tr.Label(parent))
+	}
+	if tr.Label(tr.Parent(parent)) != "Body Regions" {
+		t.Fatalf("grandparent = %q", tr.Label(tr.Parent(parent)))
+	}
+
+	// Primary Histones position keeps the bare label; D12.776.920.632 is
+	// the lexicographically later one, so the D05 position is primary…
+	// positions sort by MN: D05.750.078.930 < D12.776.920.632, but the
+	// FIRST MN in the record (D12.776.920.632) is the primary label.
+	if _, ok := tr.ByLabel("Histones"); !ok {
+		t.Fatal("primary Histones label missing")
+	}
+	if _, ok := tr.ByLabel("Histones (D05.750.078.930)"); !ok {
+		t.Fatal("secondary Histones position missing")
+	}
+
+	// Histones' D12 position has a gap (D12.776.920 absent): it must
+	// attach to the nearest present prefix, D12.776 (Proteins).
+	hist, _ := tr.ByLabel("Histones")
+	if tr.Label(tr.Parent(hist)) != "Proteins" {
+		t.Fatalf("Histones parent = %q, want Proteins (gap bridging)", tr.Label(tr.Parent(hist)))
+	}
+
+	// D05 position has no present prefix at all → top level (root child).
+	sec, _ := tr.ByLabel("Histones (D05.750.078.930)")
+	if tr.Parent(sec) != tr.Root() {
+		t.Fatalf("orphan position not attached to root")
+	}
+}
+
+func TestParseMeSHASCIIErrors(t *testing.T) {
+	cases := map[string]string{
+		"field before record": "MH = X\n",
+		"duplicate MH":        "*NEWRECORD\nMH = A\nMH = B\nMN = A01\n",
+		"empty MN":            "*NEWRECORD\nMH = A\nMN = \n",
+		"duplicate MN": "*NEWRECORD\nMH = A\nMN = A01\n\n" +
+			"*NEWRECORD\nMH = B\nMN = A01\n",
+		"no records": "RECTYPE = D\n",
+		"empty":      "",
+	}
+	for name, in := range cases {
+		if _, err := ParseMeSHASCII(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestMeSHASCIIRoundTrip(t *testing.T) {
+	orig := Generate(GenConfig{Seed: 13, Nodes: 600, TopLevel: 20, MaxDepth: 8})
+	var buf bytes.Buffer
+	if err := WriteMeSHASCII(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMeSHASCII(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("size: %d vs %d", got.Len(), orig.Len())
+	}
+	// Node order may differ (parse sorts by tree number); compare by
+	// label→parent-label relation, which must be identical.
+	for i := 1; i < orig.Len(); i++ {
+		n := orig.Node(ConceptID(i))
+		id, ok := got.ByLabel(n.Label)
+		if !ok {
+			t.Fatalf("label %q lost in round trip", n.Label)
+		}
+		wantParent := orig.Label(n.Parent)
+		if gotParent := got.Label(got.Parent(id)); gotParent != wantParent {
+			t.Fatalf("%q: parent %q vs %q", n.Label, gotParent, wantParent)
+		}
+	}
+}
+
+func TestParseMeSHASCIIGolden48k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large round trip")
+	}
+	orig := Generate(DefaultGenConfig())
+	var buf bytes.Buffer
+	if err := WriteMeSHASCII(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMeSHASCII(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("size: %d vs %d", got.Len(), orig.Len())
+	}
+}

@@ -1,0 +1,276 @@
+// Package index implements the keyword search engine BioNav queries for
+// citation IDs — the stand-in for PubMed's ESearch utility (§VII). It is an
+// in-memory inverted index with sorted postings lists, conjunctive (AND)
+// and disjunctive (OR) evaluation, and a text serialization so prebuilt
+// indexes can be shipped alongside the BioNav database.
+package index
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bionav/internal/corpus"
+)
+
+// Index maps terms to sorted, duplicate-free postings of citation IDs.
+// An Index is immutable after Build/Decode and safe for concurrent readers.
+type Index struct {
+	postings map[string][]corpus.CitationID
+	docs     int
+}
+
+// Build indexes every citation in c by its Terms.
+func Build(c *corpus.Corpus) *Index {
+	ix := &Index{postings: make(map[string][]corpus.CitationID)}
+	for i := 0; i < c.Len(); i++ {
+		cit := c.At(i)
+		ix.add(cit.ID, cit.Terms)
+	}
+	ix.finish()
+	return ix
+}
+
+// BuildFromDocs indexes an explicit (id, terms) association; used by tests
+// and by tools that index documents outside a Corpus.
+func BuildFromDocs(docs map[corpus.CitationID][]string) *Index {
+	ix := &Index{postings: make(map[string][]corpus.CitationID)}
+	for id, terms := range docs {
+		ix.add(id, terms)
+	}
+	ix.finish()
+	return ix
+}
+
+func (ix *Index) add(id corpus.CitationID, terms []string) {
+	ix.docs++
+	for _, t := range terms {
+		ix.postings[t] = append(ix.postings[t], id)
+	}
+}
+
+// finish sorts and deduplicates every postings list.
+func (ix *Index) finish() {
+	for t, list := range ix.postings {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		ix.postings[t] = dedupeSorted(list)
+	}
+}
+
+func dedupeSorted(list []corpus.CitationID) []corpus.CitationID {
+	out := list[:0]
+	for i, v := range list {
+		if i == 0 || v != list[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Docs reports the number of indexed documents.
+func (ix *Index) Docs() int { return ix.docs }
+
+// Terms reports the number of distinct indexed terms.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// DocFreq reports how many documents contain term (after tokenization
+// normalization; pass lowercase terms).
+func (ix *Index) DocFreq(term string) int { return len(ix.postings[term]) }
+
+// Postings returns the sorted postings list for term. The returned slice
+// must not be modified.
+func (ix *Index) Postings(term string) []corpus.CitationID { return ix.postings[term] }
+
+// Search tokenizes query with the corpus tokenizer and returns the IDs of
+// documents containing every token (conjunctive semantics, like PubMed's
+// default). The result is sorted ascending. An empty or all-stop query
+// returns nil.
+func (ix *Index) Search(query string) []corpus.CitationID {
+	terms := corpus.Tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Intersect rarest-first so the running result shrinks fastest.
+	sort.Slice(terms, func(i, j int) bool {
+		return len(ix.postings[terms[i]]) < len(ix.postings[terms[j]])
+	})
+	result := ix.postings[terms[0]]
+	for _, t := range terms[1:] {
+		if len(result) == 0 {
+			return nil
+		}
+		result = intersect(result, ix.postings[t])
+	}
+	return append([]corpus.CitationID(nil), result...)
+}
+
+// SearchAny returns documents containing at least one query token, sorted
+// ascending (disjunctive semantics).
+func (ix *Index) SearchAny(query string) []corpus.CitationID {
+	terms := corpus.Tokenize(query)
+	var result []corpus.CitationID
+	for _, t := range terms {
+		result = union(result, ix.postings[t])
+	}
+	return result
+}
+
+// intersect merges two sorted lists, using galloping search when the sizes
+// are lopsided — the standard trick for conjunctive query evaluation.
+func intersect(a, b []corpus.CitationID) []corpus.CitationID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]corpus.CitationID, 0, len(a))
+	if len(a) == 0 {
+		return out
+	}
+	if len(b) >= 16*len(a) {
+		// Gallop: binary-search each element of the short list in the
+		// remaining suffix of the long list.
+		lo := 0
+		for _, v := range a {
+			i := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= v })
+			if i < len(b) && b[i] == v {
+				out = append(out, v)
+			}
+			lo = i
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// union merges two sorted duplicate-free lists into one.
+func union(a, b []corpus.CitationID) []corpus.CitationID {
+	out := make([]corpus.CitationID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// The text serialization is line-oriented:
+//
+//	bionav-index v1 <docs> <terms>
+//	<term>\t<id> <id> ...        (IDs delta-encoded from the previous one)
+
+const encodeHeader = "bionav-index v1"
+
+// Encode writes the index to w. Terms are emitted in sorted order so output
+// is deterministic.
+func Encode(w io.Writer, ix *Index) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d %d\n", encodeHeader, ix.docs, len(ix.postings)); err != nil {
+		return err
+	}
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if _, err := bw.WriteString(t); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\t'); err != nil {
+			return err
+		}
+		prev := corpus.CitationID(0)
+		for i, id := range ix.postings[t] {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(int64(id-prev), 10)); err != nil {
+				return err
+			}
+			prev = id
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads an index previously written by Encode.
+func Decode(r io.Reader) (*Index, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("index: missing header")
+	}
+	var docs, terms int
+	rest, ok := strings.CutPrefix(sc.Text(), encodeHeader+" ")
+	if !ok {
+		return nil, fmt.Errorf("index: bad header %q", sc.Text())
+	}
+	if _, err := fmt.Sscanf(rest, "%d %d", &docs, &terms); err != nil {
+		return nil, fmt.Errorf("index: bad header %q: %v", sc.Text(), err)
+	}
+	if docs < 0 || terms < 0 {
+		return nil, fmt.Errorf("index: negative header counts")
+	}
+	ix := &Index{postings: make(map[string][]corpus.CitationID, terms), docs: docs}
+	for i := 0; i < terms; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("index: truncated at term %d of %d", i, terms)
+		}
+		term, idsStr, ok := strings.Cut(sc.Text(), "\t")
+		if !ok || term == "" {
+			return nil, fmt.Errorf("index: malformed line %q", sc.Text())
+		}
+		if _, dup := ix.postings[term]; dup {
+			return nil, fmt.Errorf("index: duplicate term %q", term)
+		}
+		fields := strings.Fields(idsStr)
+		list := make([]corpus.CitationID, 0, len(fields))
+		prev := corpus.CitationID(0)
+		for _, f := range fields {
+			d, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q: bad delta %q", term, f)
+			}
+			id := prev + corpus.CitationID(d)
+			if len(list) > 0 && id <= prev {
+				return nil, fmt.Errorf("index: term %q: postings not ascending", term)
+			}
+			list = append(list, id)
+			prev = id
+		}
+		ix.postings[term] = list
+	}
+	return ix, sc.Err()
+}

@@ -1,0 +1,269 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+
+	"bionav/internal/corpus"
+)
+
+// This file adds PubMed-style boolean retrieval on top of the conjunctive
+// Search: uppercase AND / OR / NOT operators with parentheses, e.g.
+//
+//	prothymosin AND (cancer OR apoptosis) NOT review
+//
+// Grammar (AND binds tighter than OR; NOT is a binary set-difference
+// operator at the same precedence as AND, as in PubMed):
+//
+//	expr   := term { "OR" term }
+//	term   := factor { ("AND" | "NOT") factor }
+//	factor := WORD+ | "(" expr ")"
+//
+// Adjacent bare words combine conjunctively (PubMed's implicit AND).
+
+// Expr is a parsed boolean query.
+type Expr interface {
+	eval(ix *Index) []corpus.CitationID
+	String() string
+}
+
+type wordsExpr struct{ terms []string }
+
+type andExpr struct{ l, r Expr }
+
+type orExpr struct{ l, r Expr }
+
+type notExpr struct{ l, r Expr }
+
+// ParseQuery parses a boolean query. Bare queries without operators
+// degrade to the implicit-AND semantics of Search.
+func ParseQuery(q string) (Expr, error) {
+	toks, err := lexQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &queryParser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("index: unexpected %q at end of query", p.peek())
+	}
+	return e, nil
+}
+
+// SearchExpr evaluates a parsed query against the index, returning sorted
+// citation IDs.
+func (ix *Index) SearchExpr(e Expr) []corpus.CitationID {
+	return append([]corpus.CitationID(nil), e.eval(ix)...)
+}
+
+// SearchBoolean parses and evaluates a boolean query in one step.
+func (ix *Index) SearchBoolean(q string) ([]corpus.CitationID, error) {
+	e, err := ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return ix.SearchExpr(e), nil
+}
+
+// SearchQuery is the user-facing entry point: queries containing boolean
+// operators or parentheses go through the boolean engine; plain keyword
+// queries keep the implicit-AND fast path. Malformed boolean syntax falls
+// back to implicit AND (matching PubMed's forgiving behaviour) — operators
+// that survive tokenization as lowercase words simply become terms.
+func (ix *Index) SearchQuery(q string) []corpus.CitationID {
+	if hasBooleanSyntax(q) {
+		if ids, err := ix.SearchBoolean(q); err == nil {
+			return ids
+		}
+	}
+	return ix.Search(q)
+}
+
+func hasBooleanSyntax(q string) bool {
+	if strings.ContainsAny(q, "()") {
+		return true
+	}
+	for _, f := range strings.Fields(q) {
+		switch f {
+		case "AND", "OR", "NOT":
+			return true
+		}
+	}
+	return false
+}
+
+// --- lexer ---
+
+type queryToken struct {
+	kind string // "word", "AND", "OR", "NOT", "(", ")"
+	text string
+}
+
+func lexQuery(q string) ([]queryToken, error) {
+	var toks []queryToken
+	// Separate parentheses, then split on whitespace; the corpus tokenizer
+	// normalizes the words so query terms match indexed terms.
+	q = strings.ReplaceAll(q, "(", " ( ")
+	q = strings.ReplaceAll(q, ")", " ) ")
+	for _, f := range strings.Fields(q) {
+		switch f {
+		case "AND", "OR", "NOT":
+			toks = append(toks, queryToken{kind: f})
+		case "(", ")":
+			toks = append(toks, queryToken{kind: f})
+		default:
+			norm := corpus.Tokenize(f)
+			if len(norm) == 0 {
+				continue // punctuation-only fragment
+			}
+			for _, w := range norm {
+				toks = append(toks, queryToken{kind: "word", text: w})
+			}
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("index: empty query")
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type queryParser struct {
+	toks []queryToken
+	pos  int
+}
+
+func (p *queryParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *queryParser) peek() string {
+	if p.done() {
+		return "<eof>"
+	}
+	t := p.toks[p.pos]
+	if t.kind == "word" {
+		return t.text
+	}
+	return t.kind
+}
+
+func (p *queryParser) accept(kind string) bool {
+	if !p.done() && p.toks[p.pos].kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *queryParser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *queryParser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("AND"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &andExpr{l, r}
+		case p.accept("NOT"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &notExpr{l, r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *queryParser) parseFactor() (Expr, error) {
+	if p.accept("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("index: missing ) before %q", p.peek())
+		}
+		return e, nil
+	}
+	var words []string
+	for !p.done() && p.toks[p.pos].kind == "word" {
+		words = append(words, p.toks[p.pos].text)
+		p.pos++
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("index: expected a term, got %q", p.peek())
+	}
+	return &wordsExpr{terms: words}, nil
+}
+
+// --- evaluation ---
+
+func (e *wordsExpr) eval(ix *Index) []corpus.CitationID {
+	return ix.Search(strings.Join(e.terms, " "))
+}
+
+func (e *wordsExpr) String() string { return strings.Join(e.terms, " ") }
+
+func (e *andExpr) eval(ix *Index) []corpus.CitationID {
+	return intersect(e.l.eval(ix), e.r.eval(ix))
+}
+
+func (e *andExpr) String() string {
+	return fmt.Sprintf("(%s AND %s)", e.l, e.r)
+}
+
+func (e *orExpr) eval(ix *Index) []corpus.CitationID {
+	return union(e.l.eval(ix), e.r.eval(ix))
+}
+
+func (e *orExpr) String() string {
+	return fmt.Sprintf("(%s OR %s)", e.l, e.r)
+}
+
+func (e *notExpr) eval(ix *Index) []corpus.CitationID {
+	return difference(e.l.eval(ix), e.r.eval(ix))
+}
+
+func (e *notExpr) String() string {
+	return fmt.Sprintf("(%s NOT %s)", e.l, e.r)
+}
+
+// difference returns the sorted elements of a that are not in b.
+func difference(a, b []corpus.CitationID) []corpus.CitationID {
+	out := make([]corpus.CitationID, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

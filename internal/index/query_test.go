@@ -1,0 +1,183 @@
+package index
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bionav/internal/corpus"
+)
+
+func boolIndex() *Index {
+	return BuildFromDocs(map[corpus.CitationID][]string{
+		1: {"prothymosin", "cancer"},
+		2: {"prothymosin", "apoptosis"},
+		3: {"cancer", "review"},
+		4: {"apoptosis", "review"},
+		5: {"prothymosin", "cancer", "review"},
+		6: {"histone"},
+	})
+}
+
+func TestBooleanQueries(t *testing.T) {
+	ix := boolIndex()
+	cases := []struct {
+		q    string
+		want []corpus.CitationID
+	}{
+		{"prothymosin", []corpus.CitationID{1, 2, 5}},
+		{"prothymosin cancer", []corpus.CitationID{1, 5}}, // implicit AND
+		{"prothymosin AND cancer", []corpus.CitationID{1, 5}},
+		{"cancer OR apoptosis", []corpus.CitationID{1, 2, 3, 4, 5}},
+		{"prothymosin NOT review", []corpus.CitationID{1, 2}},
+		{"prothymosin AND (cancer OR apoptosis)", []corpus.CitationID{1, 2, 5}},
+		{"(cancer OR apoptosis) NOT prothymosin", []corpus.CitationID{3, 4}},
+		{"cancer AND apoptosis", nil},
+		// AND binds tighter than OR: a OR b AND c = a OR (b AND c).
+		{"histone OR cancer AND review", []corpus.CitationID{3, 5, 6}},
+		// NOT chains left-to-right with AND precedence.
+		{"prothymosin NOT cancer NOT apoptosis", nil},
+		{"nosuchterm OR histone", []corpus.CitationID{6}},
+	}
+	for _, c := range cases {
+		got, err := ix.SearchBoolean(c.q)
+		if err != nil {
+			t.Errorf("SearchBoolean(%q): %v", c.q, err)
+			continue
+		}
+		if !equalIDs(got, c.want) {
+			t.Errorf("SearchBoolean(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBooleanResultsSorted(t *testing.T) {
+	ix := boolIndex()
+	got, err := ix.SearchBoolean("(prothymosin OR review) NOT histone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("unsorted: %v", got)
+	}
+}
+
+func TestBooleanMatchesPlainSearchOnConjunctions(t *testing.T) {
+	ix := boolIndex()
+	for _, q := range []string{"prothymosin", "prothymosin cancer", "cancer review"} {
+		b, err := ix.SearchBoolean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(b, ix.Search(q)) {
+			t.Fatalf("boolean(%q) diverges from Search", q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AND",
+		"prothymosin AND",
+		"prothymosin OR",
+		"NOT cancer",
+		"(prothymosin",
+		"prothymosin)",
+		"()",
+		"prothymosin ( cancer",
+		"AND OR",
+	}
+	for _, q := range bad {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("ParseQuery(%q) accepted", q)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e, err := ParseQuery("aa AND (bb OR cc) NOT dd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "((aa AND (bb OR cc)) NOT dd)"
+	if e.String() != want {
+		t.Fatalf("String = %q, want %q", e.String(), want)
+	}
+}
+
+func TestCaseSensitivityOfOperators(t *testing.T) {
+	ix := boolIndex()
+	// Lowercase "and"/"or"/"not" are ordinary (unindexed) words, matching
+	// PubMed's uppercase-operator convention — they behave as terms and
+	// make the conjunction empty.
+	got, err := ix.SearchBoolean("prothymosin and cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("lowercase 'and' treated as operator: %v", got)
+	}
+}
+
+func TestDifferenceProperty(t *testing.T) {
+	err := quick.Check(func(aRaw, bRaw []uint16) bool {
+		a := toSortedIDs(aRaw)
+		b := toSortedIDs(bRaw)
+		got := difference(a, b)
+		inB := map[corpus.CitationID]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		want := []corpus.CitationID{}
+		for _, v := range a {
+			if !inB[v] {
+				want = append(want, v)
+			}
+		}
+		return equalIDs(got, want)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeMorganProperty exercises the algebra on a generated corpus:
+// A NOT (B OR C) == (A NOT B) NOT C.
+func TestDeMorganProperty(t *testing.T) {
+	ix := boolIndex()
+	terms := []string{"prothymosin", "cancer", "apoptosis", "review", "histone"}
+	for _, a := range terms {
+		for _, b := range terms {
+			for _, c := range terms {
+				q1 := a + " NOT (" + b + " OR " + c + ")"
+				q2 := "(" + a + " NOT " + b + ") NOT " + c
+				r1, err1 := ix.SearchBoolean(q1)
+				r2, err2 := ix.SearchBoolean(q2)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if !equalIDs(r1, r2) {
+					t.Fatalf("%q != %q: %v vs %v", q1, q2, r1, r2)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchQueryDispatch(t *testing.T) {
+	ix := boolIndex()
+	// Boolean syntax routes to the boolean engine.
+	got := ix.SearchQuery("prothymosin NOT review")
+	if !equalIDs(got, []corpus.CitationID{1, 2}) {
+		t.Fatalf("SearchQuery boolean = %v", got)
+	}
+	// Plain queries keep implicit-AND semantics.
+	if !equalIDs(ix.SearchQuery("prothymosin cancer"), ix.Search("prothymosin cancer")) {
+		t.Fatal("plain query diverged")
+	}
+	// Malformed boolean syntax degrades to implicit AND instead of erroring.
+	if got := ix.SearchQuery("prothymosin AND"); got != nil && len(got) != len(ix.Search("prothymosin AND")) {
+		t.Fatalf("malformed fallback = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package navigate
+
+import (
+	"testing"
+
+	"bionav/internal/core"
+	"bionav/internal/corpus"
+	"bionav/internal/navtree"
+	"bionav/internal/rng"
+)
+
+// TestRandomActionSequences is a model-based test: it drives sessions with
+// long random sequences of user actions (EXPAND on random visible nodes,
+// SHOWRESULTS, IGNORE, BACKTRACK) under every policy and checks, after
+// every step, the active-tree invariants plus a shadow cost model.
+func TestRandomActionSequences(t *testing.T) {
+	nav := buildNav(t, 301, 150, 30)
+	policies := []core.Policy{
+		core.NewHeuristicReducedOpt(),
+		core.StaticAll{},
+		core.StaticTopK{K: 5},
+	}
+	src := rng.New(99)
+	for _, pol := range policies {
+		t.Run(pol.Name(), func(t *testing.T) {
+			s := NewSession(nav, pol)
+			var shadow Cost
+			expandDepth := 0 // net EXPANDs minus BACKTRACKs
+			for step := 0; step < 120; step++ {
+				roots := s.Active().VisibleRoots()
+				switch src.Intn(10) {
+				case 0, 1, 2, 3, 4, 5: // EXPAND a random expandable component
+					var cands []navtree.NodeID
+					for _, r := range roots {
+						if s.Active().ComponentSize(r) > 1 {
+							cands = append(cands, r)
+						}
+					}
+					if len(cands) == 0 {
+						continue
+					}
+					node := cands[src.Intn(len(cands))]
+					revealed, err := s.Expand(node)
+					if err != nil {
+						t.Fatalf("step %d: EXPAND(%d): %v", step, node, err)
+					}
+					shadow.Expands++
+					shadow.ConceptsRevealed += len(revealed)
+					expandDepth++
+					for _, r := range revealed {
+						if !s.Active().IsVisible(r) {
+							t.Fatalf("step %d: revealed %d not visible", step, r)
+						}
+					}
+				case 6, 7: // SHOWRESULTS on a random visible node
+					node := roots[src.Intn(len(roots))]
+					cits, err := s.ShowResults(node)
+					if err != nil {
+						t.Fatalf("step %d: SHOWRESULTS(%d): %v", step, node, err)
+					}
+					shadow.CitationsListed += len(cits)
+					// The listing equals the distinct count on display.
+					if len(cits) != s.Active().Distinct(node) {
+						t.Fatalf("step %d: listed %d, component shows %d",
+							step, len(cits), s.Active().Distinct(node))
+					}
+				case 8: // IGNORE
+					node := roots[src.Intn(len(roots))]
+					if err := s.Ignore(node); err != nil {
+						t.Fatalf("step %d: IGNORE(%d): %v", step, node, err)
+					}
+				case 9: // BACKTRACK
+					if expandDepth == 0 {
+						if err := s.Backtrack(); err == nil {
+							t.Fatalf("step %d: backtrack succeeded with empty history", step)
+						}
+						continue
+					}
+					if err := s.Backtrack(); err != nil {
+						t.Fatalf("step %d: BACKTRACK: %v", step, err)
+					}
+					expandDepth--
+				}
+				if err := s.Active().CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if s.Cost() != shadow {
+					t.Fatalf("step %d: cost %+v diverged from shadow %+v", step, s.Cost(), shadow)
+				}
+			}
+			// The log replays to the same cost.
+			var replay Cost
+			for _, a := range s.Log() {
+				switch a.Kind {
+				case ActionExpand:
+					replay.Expands++
+					replay.ConceptsRevealed += len(a.Revealed)
+				case ActionShowResults:
+					replay.CitationsListed += a.Listed
+				}
+			}
+			if replay != s.Cost() {
+				t.Fatalf("log replay %+v != cost %+v", replay, s.Cost())
+			}
+		})
+	}
+}
+
+// TestVisibleCountsAlwaysConsistent checks Definition 5 under random
+// expansion: every visible node's count equals the distinct citations of
+// its component, the root's initial count equals the result size, and the
+// union of visible leaf components covers the whole result.
+func TestVisibleCountsAlwaysConsistent(t *testing.T) {
+	nav := buildNav(t, 302, 120, 25)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	src := rng.New(17)
+	for step := 0; step < 25; step++ {
+		vis := s.Visualize()
+		total := make(map[corpus.CitationID]struct{})
+		for id, v := range vis {
+			if v.Count != s.Active().Distinct(id) {
+				t.Fatalf("step %d: node %d count %d != distinct %d", step, id, v.Count, s.Active().Distinct(id))
+			}
+			for _, m := range s.Active().Members(id) {
+				for _, c := range nav.Results(m) {
+					total[c] = struct{}{}
+				}
+			}
+		}
+		if len(total) != nav.DistinctTotal() {
+			t.Fatalf("step %d: visible components cover %d of %d citations",
+				step, len(total), nav.DistinctTotal())
+		}
+		// Expand something if possible.
+		var cands []navtree.NodeID
+		for id := range vis {
+			if s.Active().ComponentSize(id) > 1 {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		if _, err := s.Expand(cands[src.Intn(len(cands))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

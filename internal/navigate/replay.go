@@ -1,0 +1,102 @@
+package navigate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bionav/internal/core"
+	"bionav/internal/navtree"
+)
+
+// Session export/replay: a navigation's action log serializes to JSON so a
+// session can be shared, attached to a bug report, or resumed later. The
+// replay applies the *recorded* EdgeCuts rather than re-running the policy
+// — the restored view is byte-identical even if the policy or cost model
+// has changed since.
+
+// exportVersion guards the wire format.
+const exportVersion = 1
+
+type sessionExport struct {
+	Version int            `json:"version"`
+	Policy  string         `json:"policy"`
+	Actions []actionExport `json:"actions"`
+}
+
+type actionExport struct {
+	Kind string `json:"kind"`
+	Node int    `json:"node,omitempty"`
+	// Expand actions record the applied cut so replay is policy-free.
+	Cut []core.Edge `json:"cut,omitempty"`
+}
+
+// Export writes the session's action history as JSON.
+func (s *Session) Export(w io.Writer) error {
+	out := sessionExport{Version: exportVersion, Policy: s.policy.Name()}
+	// Reconstruct each EXPAND's cut from its revealed lower roots: the cut
+	// edges are exactly (parent(r), r) for every revealed root.
+	for _, a := range s.log {
+		ae := actionExport{Kind: a.Kind.String(), Node: a.Node}
+		if a.Kind == ActionExpand {
+			for _, r := range a.Revealed {
+				ae.Cut = append(ae.Cut, core.Edge{Parent: s.at.Nav().Parent(r), Child: r})
+			}
+		}
+		out.Actions = append(out.Actions, ae)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Replay restores an exported session onto a fresh navigation over the
+// same navigation tree. The returned session has the recorded visible
+// state; costs are re-accounted from the replayed actions. SHOWRESULTS and
+// IGNORE are re-applied for the log (their cost model is deterministic);
+// the original policy is NOT consulted.
+func Replay(nav *navtree.Tree, policy core.Policy, r io.Reader) (*Session, error) {
+	var in sessionExport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("navigate: replay: %w", err)
+	}
+	if in.Version != exportVersion {
+		return nil, fmt.Errorf("navigate: replay: unsupported version %d", in.Version)
+	}
+	s := NewSession(nav, policy)
+	for i, a := range in.Actions {
+		var err error
+		switch a.Kind {
+		case "EXPAND":
+			err = s.replayExpand(a.Node, a.Cut)
+		case "SHOWRESULTS":
+			_, err = s.ShowResults(a.Node)
+		case "IGNORE":
+			err = s.Ignore(a.Node)
+		case "BACKTRACK":
+			err = s.Backtrack()
+		default:
+			err = fmt.Errorf("unknown action kind %q", a.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("navigate: replay action %d (%s): %w", i, a.Kind, err)
+		}
+	}
+	return s, nil
+}
+
+// replayExpand applies a recorded cut directly, bypassing the policy.
+func (s *Session) replayExpand(node navtree.NodeID, cut []core.Edge) error {
+	if len(cut) == 0 {
+		return fmt.Errorf("recorded EXPAND has no cut")
+	}
+	revealed, err := s.at.Expand(node, cut)
+	if err != nil {
+		return err
+	}
+	s.cost.Expands++
+	s.cost.ConceptsRevealed += len(revealed)
+	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})
+	return nil
+}

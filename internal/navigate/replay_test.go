@@ -1,0 +1,105 @@
+package navigate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bionav/internal/core"
+)
+
+func TestExportReplayRoundTrip(t *testing.T) {
+	nav := buildNav(t, 501, 180, 35)
+	orig := NewSession(nav, core.NewHeuristicReducedOpt())
+
+	// A realistic action sequence: expand twice, inspect, ignore, backtrack,
+	// expand again.
+	if _, err := orig.Expand(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	roots := orig.Active().VisibleRoots()
+	for _, r := range roots {
+		if r != nav.Root() && orig.Active().ComponentSize(r) > 1 {
+			if _, err := orig.Expand(r); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if _, err := orig.ShowResults(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Ignore(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Expand(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Replay(nav, core.NewHeuristicReducedOpt(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical visible state.
+	a, b := orig.Active().VisibleRoots(), got.Active().VisibleRoots()
+	if len(a) != len(b) {
+		t.Fatalf("visible roots differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visible roots differ: %v vs %v", a, b)
+		}
+	}
+	// Identical cost accounting.
+	if orig.Cost() != got.Cost() {
+		t.Fatalf("cost differs: %+v vs %+v", orig.Cost(), got.Cost())
+	}
+	// Identical log shape.
+	if len(orig.Log()) != len(got.Log()) {
+		t.Fatalf("log lengths differ")
+	}
+}
+
+func TestReplayIsPolicyIndependent(t *testing.T) {
+	nav := buildNav(t, 502, 150, 30)
+	orig := NewSession(nav, core.NewHeuristicReducedOpt())
+	if _, err := orig.Expand(nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Replay under a completely different policy: the recorded cut wins.
+	got, err := Replay(nav, core.StaticAll{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Cost() != got.Cost() {
+		t.Fatalf("replay depended on the policy: %+v vs %+v", orig.Cost(), got.Cost())
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	nav := buildNav(t, 503, 80, 20)
+	cases := map[string]string{
+		"not json":       "{nope",
+		"bad version":    `{"version": 99, "actions": []}`,
+		"unknown action": `{"version": 1, "actions": [{"kind": "TELEPORT"}]}`,
+		"cutless expand": `{"version": 1, "actions": [{"kind": "EXPAND", "node": 0}]}`,
+		"invalid cut":    `{"version": 1, "actions": [{"kind": "EXPAND", "node": 0, "cut": [{"Parent": 5, "Child": 0}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Replay(nav, core.StaticAll{}, strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by every synthetic-data generator in this repository.
+//
+// The standard library's math/rand is deliberately avoided for data
+// generation: its stream is not guaranteed stable across Go releases,
+// whereas the experiments in EXPERIMENTS.md must regenerate byte-identical
+// datasets from a seed. The generator here is SplitMix64 (Steele, Lea,
+// Flood; public domain), which is tiny, fast, and passes BigCrush when
+// used as a 64-bit stream.
+package rng
+
+import "math"
+
+// Source is a deterministic SplitMix64 random source. The zero value is a
+// valid generator seeded with 0; use New to seed explicitly. Source is not
+// safe for concurrent use; give each goroutine its own Source (Split).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent child generator from s. The child's stream
+// is a deterministic function of s's current state, and advancing the child
+// does not perturb s beyond the single draw used to seed it.
+func (s *Source) Split() *Source {
+	// The golden-gamma increment of SplitMix64 guarantees distinct streams.
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation, simplified to the
+	// rejection form: draw until the value falls in the largest multiple
+	// of n that fits in 64 bits. The loop runs once in the common case.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := s.Uint64()
+		if hi, lo := mul64(v, bound); lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Zipf returns a value in [0, n) drawn from a Zipf-like distribution with
+// exponent skew > 0 (larger skew concentrates mass on small indices). It
+// uses inverse-CDF sampling over precomputed weights when n is small and a
+// rejection scheme otherwise; callers that sample repeatedly from the same
+// distribution should prefer NewZipf.
+func (s *Source) Zipf(n int, skew float64) int {
+	z := NewZipf(n, skew)
+	return z.Next(s)
+}
+
+// Perm returns a uniform pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf is a reusable sampler over [0, n) with probability proportional to
+// 1/(i+1)^skew. It precomputes the cumulative distribution, so Next is a
+// binary search.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with the given exponent.
+// It panics if n <= 0 or skew < 0.
+func NewZipf(n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with non-positive n")
+	}
+	if skew < 0 {
+		panic("rng: NewZipf called with negative skew")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), skew)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N reports the size of the sampler's domain.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Next draws the next sample using src.
+func (z *Zipf) Next(src *Source) int {
+	u := src.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	lo = a * b
+	return hi, lo
+}

@@ -1,0 +1,106 @@
+package server
+
+import "net/http"
+
+// handleIndex serves the single-page UI: a keyword box and an expandable
+// concept tree driven by the JSON API, styled after the paper's Fig. 2.
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>BioNav — Effective Navigation on Query Results</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
+  h1 { font-size: 1.4rem; }
+  #q { width: 24rem; padding: .4rem; }
+  button { padding: .4rem .8rem; }
+  ul.tree, ul.tree ul { list-style: none; padding-left: 1.25rem; }
+  .count { color: #666; }
+  .expand { color: #06c; cursor: pointer; margin-left: .5rem; user-select: none; }
+  .show { color: #080; cursor: pointer; margin-left: .5rem; user-select: none; }
+  #cost { color: #666; font-size: .85rem; margin: .5rem 0; }
+  #cites { border-top: 1px solid #ddd; margin-top: 1rem; padding-top: .5rem; }
+  #cites li { margin-bottom: .25rem; }
+  .err { color: #b00; }
+</style>
+</head>
+<body>
+<h1>BioNav</h1>
+<p>Navigate large query results through a cost-optimized MeSH concept tree.
+Try <em>prothymosin</em>, <em>vardenafil</em> or <em>follistatin</em> on the demo dataset.</p>
+<form id="f"><input id="q" placeholder="keyword query"><button>Search</button>
+<button type="button" id="back" hidden>Backtrack</button></form>
+<div id="cost"></div>
+<div id="tree"></div>
+<ol id="cites"></ol>
+<script>
+let session = null;
+const f = document.getElementById('f'), q = document.getElementById('q');
+const treeDiv = document.getElementById('tree'), cites = document.getElementById('cites');
+const costDiv = document.getElementById('cost'), back = document.getElementById('back');
+
+f.addEventListener('submit', async e => {
+  e.preventDefault();
+  render(await api('/api/query', {keywords: q.value}));
+});
+back.addEventListener('click', async () => {
+  render(await api('/api/backtrack', {session}));
+});
+
+async function api(path, body) {
+  const r = await fetch(path, {method: 'POST', headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(body)});
+  const data = await r.json();
+  if (!r.ok) { treeDiv.innerHTML = '<p class="err">' + data.error + '</p>'; return null; }
+  return data;
+}
+
+function render(state) {
+  if (!state) return;
+  session = state.session;
+  back.hidden = false;
+  costDiv.textContent = state.results + ' results — navigation cost: '
+    + state.cost.navigation + ' (' + state.cost.expands + ' expands, '
+    + state.cost.conceptsRevealed + ' concepts)';
+  treeDiv.replaceChildren(renderNode(state.tree));
+  cites.replaceChildren();
+}
+
+function renderNode(n) {
+  const ul = document.createElement('ul'); ul.className = 'tree';
+  const li = document.createElement('li');
+  li.append(n.label + ' ');
+  const c = document.createElement('span'); c.className = 'count';
+  c.textContent = '(' + n.count + ')'; li.append(c);
+  if (n.expandable) {
+    const x = document.createElement('span'); x.className = 'expand'; x.textContent = '>>>';
+    x.onclick = async () => render(await api('/api/expand', {session, node: n.node}));
+    li.append(x);
+  }
+  const sh = document.createElement('span'); sh.className = 'show'; sh.textContent = '[results]';
+  sh.onclick = () => showResults(n.node);
+  li.append(sh);
+  for (const child of (n.children || [])) li.append(renderNode(child));
+  ul.append(li);
+  return ul;
+}
+
+async function showResults(node) {
+  const r = await fetch('/api/results?session=' + session + '&node=' + node);
+  const data = await r.json();
+  if (!r.ok) return;
+  cites.replaceChildren(...data.map(c => {
+    const li = document.createElement('li');
+    li.textContent = c.title + ' — ' + (c.authors || []).join(', ') + ' (' + c.year + ') [PMID ' + c.id + ']';
+    return li;
+  }));
+}
+</script>
+</body>
+</html>
+`

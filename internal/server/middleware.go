@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Middleware wraps the BioNav handler with the production concerns the
+// bare mux omits: per-request access logging and panic recovery that
+// converts a crashed handler into a JSON 500 instead of a dropped
+// connection. Logger may be nil to disable access logs.
+func Middleware(next http.Handler, logger *log.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				if logger != nil {
+					logger.Printf("panic %v serving %s %s\n%s", p, r.Method, r.URL.Path, debug.Stack())
+				}
+				// The handler may have written nothing yet; try to emit a
+				// JSON error (WriteHeader is a no-op if already sent).
+				httpError(rec, http.StatusInternalServerError,
+					fmt.Errorf("internal error"))
+			}
+			if logger != nil {
+				logger.Printf("%s %s → %d (%v)", r.Method, r.URL.RequestURI(), rec.status,
+					time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.wroteHeader {
+		return
+	}
+	r.wroteHeader = true
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.ResponseWriter.Write(b)
+}

@@ -1,0 +1,374 @@
+// Package server implements BioNav's on-line subsystem (§VII): a web
+// interface where a keyword query builds a navigation tree and the user
+// navigates it through EXPAND / SHOWRESULTS / BACKTRACK actions, each
+// expansion running Heuristic-ReducedOpt. State is kept in server-side
+// sessions so the active tree survives across requests.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"bionav/internal/core"
+	"bionav/internal/navigate"
+	"bionav/internal/navtree"
+	"bionav/internal/rank"
+	"bionav/internal/store"
+)
+
+// Config tunes the server.
+type Config struct {
+	MaxSessions int           // evict oldest beyond this many (default 256)
+	SessionTTL  time.Duration // evict sessions idle longer than this (default 30m)
+	PolicyK     int           // Heuristic-ReducedOpt budget (default 10)
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.PolicyK <= 0 {
+		c.PolicyK = 10
+	}
+}
+
+// Server serves the BioNav API over one dataset. Safe for concurrent use.
+type Server struct {
+	ds     *store.Dataset
+	cfg    Config
+	scorer *rank.Scorer
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+}
+
+type session struct {
+	nav      *navigate.Session
+	keywords string
+	lastUsed time.Time
+}
+
+// New builds a server over the dataset.
+func New(ds *store.Dataset, cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		ds:       ds,
+		cfg:      cfg,
+		scorer:   rank.NewScorer(ds.Corpus, ds.Index),
+		sessions: make(map[string]*session),
+	}
+}
+
+// Handler returns the HTTP handler: the HTML UI at "/", the JSON API under
+// "/api/".
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/expand", s.handleExpand)
+	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
+	mux.HandleFunc("GET /api/results", s.handleResults)
+	mux.HandleFunc("GET /api/export", s.handleExport)
+	mux.HandleFunc("POST /api/import", s.handleImport)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+// --- JSON wire types ---
+
+type queryRequest struct {
+	Keywords string `json:"keywords"`
+}
+
+type nodeView struct {
+	Node       int        `json:"node"`
+	Label      string     `json:"label"`
+	TreeID     string     `json:"treeId,omitempty"`
+	Count      int        `json:"count"`
+	Expandable bool       `json:"expandable"`
+	Children   []nodeView `json:"children,omitempty"`
+}
+
+type stateResponse struct {
+	Session  string   `json:"session"`
+	Keywords string   `json:"keywords"`
+	Results  int      `json:"results"`
+	Cost     costView `json:"cost"`
+	Tree     nodeView `json:"tree"`
+}
+
+type costView struct {
+	Expands          int `json:"expands"`
+	ConceptsRevealed int `json:"conceptsRevealed"`
+	CitationsListed  int `json:"citationsListed"`
+	Navigation       int `json:"navigation"`
+}
+
+type actionRequest struct {
+	Session string `json:"session"`
+	Node    int    `json:"node"`
+}
+
+type citationView struct {
+	ID      int64    `json:"id"`
+	Title   string   `json:"title"`
+	Authors []string `json:"authors"`
+	Year    int      `json:"year"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	results := s.ds.Index.SearchQuery(req.Keywords)
+	if len(results) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no citations match %q", req.Keywords))
+		return
+	}
+	nav := navtree.Build(s.ds.Corpus, results)
+	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
+	sess := navigate.NewSession(nav, policy)
+
+	id := s.register(&session{nav: sess, keywords: req.Keywords, lastUsed: time.Now()})
+	s.writeState(w, id)
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var req actionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sess, err := s.lookup(req.Session)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if _, err := sess.nav.Expand(req.Node); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeState(w, req.Session)
+}
+
+func (s *Server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
+	var req actionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sess, err := s.lookup(req.Session)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := sess.nav.Backtrack(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeState(w, req.Session)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.URL.Query().Get("session"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad node: %w", err))
+		return
+	}
+	ids, err := sess.nav.ShowResults(node)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Order listings by relevance to the session's query (§I ranking).
+	ranked := s.scorer.Rank(sess.keywords, ids)
+	out := make([]citationView, 0, len(ranked))
+	for _, r := range ranked {
+		if cit, ok := s.ds.Corpus.Get(r.ID); ok {
+			out = append(out, citationView{
+				ID: int64(cit.ID), Title: cit.Title, Authors: cit.Authors, Year: cit.Year,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExport streams a session's action log as JSON — a shareable,
+// replayable navigation state.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.URL.Query().Get("session"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="bionav-session.json"`)
+	if err := sess.nav.Export(w); err != nil {
+		// Headers already sent; nothing more we can do but log-worthy drop.
+		return
+	}
+}
+
+// importRequest re-runs an exported session against a fresh query.
+type importRequest struct {
+	Keywords string          `json:"keywords"`
+	Session  json.RawMessage `json:"session"`
+}
+
+// handleImport restores an exported navigation: it re-runs the keyword
+// query and replays the recorded actions, returning a new live session.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req importRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	results := s.ds.Index.SearchQuery(req.Keywords)
+	if len(results) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no citations match %q", req.Keywords))
+		return
+	}
+	nav := navtree.Build(s.ds.Corpus, results)
+	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
+	restored, err := navigate.Replay(nav, policy, bytes.NewReader(req.Session))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	id := s.register(&session{nav: restored, keywords: req.Keywords, lastUsed: time.Now()})
+	s.writeState(w, id)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"concepts":  s.ds.Tree.Len(),
+		"citations": s.ds.Corpus.Len(),
+		"terms":     s.ds.Index.Terms(),
+		"sessions":  active,
+	})
+}
+
+// --- session bookkeeping ---
+
+func (s *Server) register(sess *session) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("s%08x", s.nextID)
+	s.sessions[id] = sess
+	s.evictLocked()
+	return id
+}
+
+var errNoSession = errors.New("server: unknown or expired session")
+
+func (s *Server) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, errNoSession
+	}
+	if time.Since(sess.lastUsed) > s.cfg.SessionTTL {
+		delete(s.sessions, id)
+		return nil, errNoSession
+	}
+	sess.lastUsed = time.Now()
+	return sess, nil
+}
+
+// evictLocked drops expired sessions and, if still over capacity, the
+// least recently used ones. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	now := time.Now()
+	for id, sess := range s.sessions {
+		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+		}
+	}
+	for len(s.sessions) > s.cfg.MaxSessions {
+		oldestID := ""
+		var oldest time.Time
+		for id, sess := range s.sessions {
+			if oldestID == "" || sess.lastUsed.Before(oldest) {
+				oldestID, oldest = id, sess.lastUsed
+			}
+		}
+		delete(s.sessions, oldestID)
+	}
+}
+
+// --- rendering ---
+
+func (s *Server) writeState(w http.ResponseWriter, id string) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	at := sess.nav.Active()
+	vis := sess.nav.Visualize()
+	cost := sess.nav.Cost()
+	resp := stateResponse{
+		Session:  id,
+		Keywords: sess.keywords,
+		Results:  at.Nav().DistinctTotal(),
+		Cost: costView{
+			Expands:          cost.Expands,
+			ConceptsRevealed: cost.ConceptsRevealed,
+			CitationsListed:  cost.CitationsListed,
+			Navigation:       cost.Navigation(),
+		},
+		Tree: s.buildView(at.Nav(), vis, at.Nav().Root()),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) buildView(nav *navtree.Tree, vis map[navtree.NodeID]*core.VisibleNode, id navtree.NodeID) nodeView {
+	v := vis[id]
+	out := nodeView{
+		Node:       id,
+		Label:      v.Label,
+		TreeID:     s.ds.Tree.Node(nav.Concept(id)).TreeID,
+		Count:      v.Count,
+		Expandable: v.Expandable,
+	}
+	for _, c := range v.Children {
+		out.Children = append(out.Children, s.buildView(nav, vis, c))
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/index"
+	"bionav/internal/store"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 71, Nodes: 1000, TopLevel: 12, MaxDepth: 8})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 72, Citations: 300, MeanConcepts: 30, FirstID: 500, YearLo: 2000, YearHi: 2008,
+	})
+	ds := &store.Dataset{Tree: tree, Corpus: corp, Index: index.Build(corp)}
+	srv := New(ds, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, raw
+}
+
+// queryTerm picks a term guaranteed to match at least one citation.
+func queryTerm(srv *Server) string {
+	return srv.ds.Corpus.At(0).Terms[0]
+}
+
+func TestQueryExpandShowResults(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+
+	resp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Session string `json:"session"`
+		Results int    `json:"results"`
+		Tree    struct {
+			Node       int  `json:"node"`
+			Count      int  `json:"count"`
+			Expandable bool `json:"expandable"`
+		} `json:"tree"`
+	}
+	reencode(t, raw, &state)
+	if state.Session == "" || state.Results == 0 {
+		t.Fatalf("state = %+v", state)
+	}
+	if state.Tree.Count != state.Results {
+		t.Fatalf("root count %d != results %d", state.Tree.Count, state.Results)
+	}
+	if !state.Tree.Expandable {
+		t.Fatal("root not expandable")
+	}
+
+	// Expand the root.
+	resp, raw = postJSON(t, ts.URL+"/api/expand", map[string]any{"session": state.Session, "node": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expand status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var after struct {
+		Cost struct {
+			Expands    int `json:"expands"`
+			Navigation int `json:"navigation"`
+		} `json:"cost"`
+		Tree struct {
+			Children []json.RawMessage `json:"children"`
+		} `json:"tree"`
+	}
+	reencode(t, raw, &after)
+	if after.Cost.Expands != 1 || len(after.Tree.Children) == 0 {
+		t.Fatalf("after expand: %+v", after)
+	}
+
+	// List root results.
+	rResp, err := http.Get(fmt.Sprintf("%s/api/results?session=%s&node=0", ts.URL, state.Session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rResp.Body.Close()
+	if rResp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d", rResp.StatusCode)
+	}
+	var cits []struct {
+		ID    int64  `json:"id"`
+		Title string `json:"title"`
+	}
+	if err := json.NewDecoder(rResp.Body).Decode(&cits); err != nil {
+		t.Fatal(err)
+	}
+	if len(cits) != state.Results {
+		t.Fatalf("listed %d citations, want %d", len(cits), state.Results)
+	}
+
+	// Backtrack restores the unexpanded tree.
+	resp, raw = postJSON(t, ts.URL+"/api/backtrack", map[string]any{"session": state.Session})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("backtrack status %d: %s", resp.StatusCode, raw["error"])
+	}
+}
+
+func reencode(t *testing.T, raw map[string]json.RawMessage, dst any) {
+	t.Helper()
+	b, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryNoMatches(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "zzznotaword"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", resp.StatusCode)
+	}
+
+	resp2, _ := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": "nope", "node": 0})
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", resp2.StatusCode)
+	}
+}
+
+func TestExpandInvalidNode(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	_, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	var sessionID string
+	if err := json.Unmarshal(raw["session"], &sessionID); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": sessionID, "node": 99999})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxSessions: 2})
+	term := queryTerm(srv)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": term})
+		var id string
+		if err := json.Unmarshal(raw["session"], &id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		time.Sleep(2 * time.Millisecond) // distinct lastUsed timestamps
+	}
+	// The first session must be evicted.
+	resp, _ := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": ids[0], "node": 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session: status %d, want 404", resp.StatusCode)
+	}
+	// The latest must still work.
+	resp2, _ := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": ids[2], "node": 0})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("latest session: status %d", resp2.StatusCode)
+	}
+}
+
+func TestSessionTTL(t *testing.T) {
+	srv, ts := testServer(t, Config{SessionTTL: time.Millisecond})
+	_, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	var id string
+	if err := json.Unmarshal(raw["session"], &id); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	resp, _ := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": id, "node": 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsAndIndexPage(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["concepts"] != srv.ds.Tree.Len() || stats["citations"] != srv.ds.Corpus.Len() {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	page, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer page.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(page.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BioNav") || !strings.Contains(page.Header.Get("Content-Type"), "text/html") {
+		t.Fatal("index page malformed")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	term := queryTerm(srv)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- func() error {
+				b, _ := json.Marshal(map[string]string{"keywords": term})
+				resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(b))
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				var state struct {
+					Session string `json:"session"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+					return err
+				}
+				b, _ = json.Marshal(map[string]any{"session": state.Session, "node": 0})
+				resp2, err := http.Post(ts.URL+"/api/expand", "application/json", bytes.NewReader(b))
+				if err != nil {
+					return err
+				}
+				resp2.Body.Close()
+				if resp2.StatusCode != http.StatusOK {
+					return fmt.Errorf("expand status %d", resp2.StatusCode)
+				}
+				return nil
+			}()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	term := queryTerm(srv)
+	_, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": term})
+	var id string
+	if err := json.Unmarshal(raw["session"], &id); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw2 := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": id, "node": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expand status %d", resp.StatusCode)
+	}
+	var origCost json.RawMessage = raw2["cost"]
+
+	expResp, err := http.Get(ts.URL + "/api/export?session=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported, err := io.ReadAll(expResp.Body)
+	expResp.Body.Close()
+	if err != nil || expResp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %v status %d", err, expResp.StatusCode)
+	}
+	if cd := expResp.Header.Get("Content-Disposition"); !strings.Contains(cd, "bionav-session") {
+		t.Fatalf("disposition %q", cd)
+	}
+
+	// Import as a brand-new session: identical cost and tree shape.
+	body, _ := json.Marshal(map[string]any{
+		"keywords": term,
+		"session":  json.RawMessage(exported),
+	})
+	impResp, err := http.Post(ts.URL+"/api/import", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer impResp.Body.Close()
+	if impResp.StatusCode != http.StatusOK {
+		t.Fatalf("import status %d", impResp.StatusCode)
+	}
+	var state map[string]json.RawMessage
+	if err := json.NewDecoder(impResp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if string(state["cost"]) != string(origCost) {
+		t.Fatalf("restored cost %s != original %s", state["cost"], origCost)
+	}
+
+	// Garbage session payloads are rejected.
+	bad, _ := json.Marshal(map[string]any{"keywords": term, "session": json.RawMessage(`{"version":9}`)})
+	r3, err := http.Post(ts.URL+"/api/import", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad import status %d", r3.StatusCode)
+	}
+}
+
+func TestExportUnknownSession(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/export?session=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

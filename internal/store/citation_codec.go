@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+// encodeCitation serializes one citation record: ID, title, year, authors,
+// terms, then the concept annotations delta-encoded (they are sorted
+// ascending by construction).
+func encodeCitation(enc *Encoder, c *corpus.Citation) {
+	enc.PutVarint(int64(c.ID))
+	enc.PutString(c.Title)
+	enc.PutUvarint(uint64(c.Year))
+	enc.PutUvarint(uint64(len(c.Authors)))
+	for _, a := range c.Authors {
+		enc.PutString(a)
+	}
+	enc.PutUvarint(uint64(len(c.Terms)))
+	for _, t := range c.Terms {
+		enc.PutString(t)
+	}
+	enc.PutUvarint(uint64(len(c.Concepts)))
+	prev := hierarchy.ConceptID(0)
+	for _, id := range c.Concepts {
+		enc.PutUvarint(uint64(id - prev))
+		prev = id
+	}
+}
+
+// decodeCitation parses a record written by encodeCitation.
+func decodeCitation(payload []byte) (corpus.Citation, error) {
+	d := NewDecoder(payload)
+	var c corpus.Citation
+	id, err := d.Varint()
+	if err != nil {
+		return c, err
+	}
+	c.ID = corpus.CitationID(id)
+	if c.Title, err = d.String(); err != nil {
+		return c, err
+	}
+	year, err := d.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	c.Year = int(year)
+	na, err := d.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	for j := uint64(0); j < na; j++ {
+		a, err := d.String()
+		if err != nil {
+			return c, err
+		}
+		c.Authors = append(c.Authors, a)
+	}
+	nt, err := d.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	for j := uint64(0); j < nt; j++ {
+		t, err := d.String()
+		if err != nil {
+			return c, err
+		}
+		c.Terms = append(c.Terms, t)
+	}
+	nc, err := d.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	prev := hierarchy.ConceptID(0)
+	for j := uint64(0); j < nc; j++ {
+		delta, err := d.Uvarint()
+		if err != nil {
+			return c, err
+		}
+		prev += hierarchy.ConceptID(delta)
+		c.Concepts = append(c.Concepts, prev)
+	}
+	if err := d.Finish(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

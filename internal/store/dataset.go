@@ -1,0 +1,189 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/index"
+)
+
+// Dataset bundles everything BioNav's on-line subsystem needs: the concept
+// hierarchy with global counts, the citation corpus with its denormalized
+// concept associations, and the prebuilt keyword index. This mirrors the
+// off-line pre-processing output of §VII.
+type Dataset struct {
+	Tree   *hierarchy.Tree
+	Corpus *corpus.Corpus
+	Index  *index.Index
+}
+
+// Table names of the BioNav schema.
+const (
+	tableConcepts  = "concepts"  // one record per concept, in ID order
+	tableCitations = "citations" // one record per citation, denormalized
+	tableIndex     = "searchindex"
+)
+
+// Save writes the dataset to a fresh database directory.
+func (ds *Dataset) Save(dir string) error {
+	return ds.SaveWith(dir, nil)
+}
+
+// SaveWith writes the dataset plus any extra tables produced by extra;
+// callers (e.g. the workload package) use it to persist sidecar metadata
+// in the same database directory.
+func (ds *Dataset) SaveWith(dir string, extra func(*Writer) error) error {
+	w, err := NewWriter(dir)
+	if err != nil {
+		return err
+	}
+	err = ds.save(w)
+	if err == nil && extra != nil {
+		err = extra(w)
+	}
+	if err != nil {
+		w.Close() // release descriptors; the save error wins
+		return err
+	}
+	return w.Close()
+}
+
+func (ds *Dataset) save(w *Writer) error {
+	var enc Encoder
+
+	ct, err := w.CreateTable(tableConcepts)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ds.Tree.Len(); i++ {
+		n := ds.Tree.Node(hierarchy.ConceptID(i))
+		enc.Reset()
+		enc.PutVarint(int64(n.Parent))
+		enc.PutString(n.Label)
+		enc.PutUvarint(uint64(ds.Corpus.GlobalCount(n.ID)))
+		if err := ct.Append(enc.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	cit, err := w.CreateTable(tableCitations)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ds.Corpus.Len(); i++ {
+		enc.Reset()
+		encodeCitation(&enc, ds.Corpus.At(i))
+		if err := cit.Append(enc.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	it, err := w.CreateTable(tableIndex)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := index.Encode(&buf, ds.Index); err != nil {
+		return err
+	}
+	return it.Append(buf.Bytes())
+}
+
+// LoadDataset reads a dataset previously written by Save.
+func LoadDataset(dir string) (*Dataset, error) {
+	db, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Concepts: rebuild the tree and collect global counts.
+	var (
+		b       *hierarchy.Builder
+		counts  []int64
+		nodeNum int
+	)
+	err = db.ForEach(tableConcepts, func(payload []byte) error {
+		d := NewDecoder(payload)
+		parent, err := d.Varint()
+		if err != nil {
+			return err
+		}
+		label, err := d.String()
+		if err != nil {
+			return err
+		}
+		gc, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		if nodeNum == 0 {
+			if parent != int64(hierarchy.None) {
+				return fmt.Errorf("%w: first concept is not a root", ErrCorrupt)
+			}
+			b = hierarchy.NewBuilder(label)
+		} else {
+			if parent < 0 || parent >= int64(nodeNum) {
+				return fmt.Errorf("%w: concept %d has forward parent %d", ErrCorrupt, nodeNum, parent)
+			}
+			b.Add(hierarchy.ConceptID(parent), label)
+		}
+		counts = append(counts, int64(gc))
+		nodeNum++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("%w: empty concepts table", ErrCorrupt)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuild hierarchy: %w", err)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("store: rebuild hierarchy: %w", err)
+	}
+
+	// Citations.
+	var citations []corpus.Citation
+	err = db.ForEach(tableCitations, func(payload []byte) error {
+		c, derr := decodeCitation(payload)
+		if derr != nil {
+			return derr
+		}
+		citations = append(citations, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	corp, err := corpus.New(tree, citations, counts)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuild corpus: %w", err)
+	}
+
+	// Search index.
+	var ix *index.Index
+	err = db.ForEach(tableIndex, func(payload []byte) error {
+		if ix != nil {
+			return fmt.Errorf("%w: multiple index records", ErrCorrupt)
+		}
+		var derr error
+		ix, derr = index.Decode(bytes.NewReader(payload))
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("%w: missing index record", ErrCorrupt)
+	}
+
+	return &Dataset{Tree: tree, Corpus: corp, Index: ix}, nil
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bionav/internal/corpus"
+)
+
+// CitationReader serves point lookups of citations straight from the
+// database file, without materializing the corpus in memory — the serving
+// role the paper's Oracle database plays for SHOWRESULTS/ESummary against
+// 18M-citation MEDLINE. Opening scans the citation table once to build an
+// in-memory (ID → file location) index (16 bytes per citation); Get then
+// costs one ReadAt plus decode, front-ended by a small LRU cache.
+//
+// CitationReader is safe for concurrent use.
+type CitationReader struct {
+	f       *os.File
+	offsets map[corpus.CitationID]recordLoc
+
+	mu    sync.Mutex
+	cache *lru
+}
+
+type recordLoc struct {
+	offset int64
+	length uint32
+	crc    uint32
+}
+
+// OpenCitationReader indexes dir's citation table. cacheSize bounds the
+// decoded-citation LRU (0 disables caching).
+func OpenCitationReader(dir string, cacheSize int) (*CitationReader, error) {
+	path := filepath.Join(dir, tableCitations+tableSuffix)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open citations: %w", err)
+	}
+	r := &CitationReader{
+		f:       f,
+		offsets: make(map[corpus.CitationID]recordLoc),
+		cache:   newLRU(cacheSize),
+	}
+	if err := r.buildIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildIndex scans record frames, decoding only the leading citation-ID
+// varint of each payload. CRCs are stored and verified lazily on Get, so
+// the scan is one sequential pass reading 8+10 bytes per record.
+func (r *CitationReader) buildIndex() error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r.f, magic[:]); err != nil || magic != tableMagic {
+		return fmt.Errorf("%w: citations table: bad magic", ErrCorrupt)
+	}
+	offset := int64(len(magic))
+	var hdr [8]byte
+	var lead [binary.MaxVarintLen64]byte
+	for {
+		if _, err := r.f.ReadAt(hdr[:], offset); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end or torn tail
+			}
+			return fmt.Errorf("store: index citations: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordSize {
+			return fmt.Errorf("%w: citations table: record claims %d bytes", ErrCorrupt, length)
+		}
+		n := int(length)
+		if n > len(lead) {
+			n = len(lead)
+		}
+		if _, err := r.f.ReadAt(lead[:n], offset+8); err != nil {
+			return nil // torn tail
+		}
+		id, vn := binary.Varint(lead[:n])
+		if vn <= 0 {
+			return fmt.Errorf("%w: citations table: record at %d has no ID", ErrCorrupt, offset)
+		}
+		r.offsets[corpus.CitationID(id)] = recordLoc{offset: offset + 8, length: length, crc: crc}
+		offset += 8 + int64(length)
+	}
+}
+
+// Len reports the number of indexed citations.
+func (r *CitationReader) Len() int { return len(r.offsets) }
+
+// Has reports whether the citation exists without reading it.
+func (r *CitationReader) Has(id corpus.CitationID) bool {
+	_, ok := r.offsets[id]
+	return ok
+}
+
+// Get reads, verifies, and decodes one citation. The result is shared with
+// the cache and must not be modified.
+func (r *CitationReader) Get(id corpus.CitationID) (*corpus.Citation, error) {
+	loc, ok := r.offsets[id]
+	if !ok {
+		return nil, fmt.Errorf("store: citation %d not found", id)
+	}
+	r.mu.Lock()
+	if c, hit := r.cache.get(id); hit {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+
+	buf := make([]byte, loc.length)
+	if _, err := r.f.ReadAt(buf, loc.offset); err != nil {
+		return nil, fmt.Errorf("store: read citation %d: %w", id, err)
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != loc.crc {
+		return nil, fmt.Errorf("%w: citation %d checksum %08x != %08x", ErrCorrupt, id, got, loc.crc)
+	}
+	c, err := decodeCitation(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache.put(id, &c)
+	r.mu.Unlock()
+	return &c, nil
+}
+
+// Close releases the file descriptor.
+func (r *CitationReader) Close() error { return r.f.Close() }
+
+// lru is a minimal LRU cache of decoded citations. Not safe for concurrent
+// use; the reader serializes access.
+type lru struct {
+	max   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[corpus.CitationID]*list.Element
+}
+
+type lruEntry struct {
+	id corpus.CitationID
+	c  *corpus.Citation
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, order: list.New(), items: make(map[corpus.CitationID]*list.Element)}
+}
+
+func (l *lru) get(id corpus.CitationID) (*corpus.Citation, bool) {
+	el, ok := l.items[id]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).c, true
+}
+
+func (l *lru) put(id corpus.CitationID, c *corpus.Citation) {
+	if l.max <= 0 {
+		return
+	}
+	if el, ok := l.items[id]; ok {
+		l.order.MoveToFront(el)
+		el.Value.(*lruEntry).c = c
+		return
+	}
+	l.items[id] = l.order.PushFront(&lruEntry{id: id, c: c})
+	for l.order.Len() > l.max {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry).id)
+	}
+}

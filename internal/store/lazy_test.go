@@ -1,0 +1,182 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func lazyFixture(t *testing.T) (string, *Dataset) {
+	t.Helper()
+	ds := testDataset(t)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+func TestCitationReaderMatchesFullLoad(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	r, err := OpenCitationReader(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != ds.Corpus.Len() {
+		t.Fatalf("indexed %d, corpus has %d", r.Len(), ds.Corpus.Len())
+	}
+	for i := 0; i < ds.Corpus.Len(); i++ {
+		want := ds.Corpus.At(i)
+		if !r.Has(want.ID) {
+			t.Fatalf("Has(%d) = false", want.ID)
+		}
+		got, err := r.Get(want.ID)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", want.ID, err)
+		}
+		if got.Title != want.Title || got.Year != want.Year ||
+			len(got.Concepts) != len(want.Concepts) || len(got.Terms) != len(want.Terms) {
+			t.Fatalf("citation %d differs: %+v vs %+v", want.ID, got, want)
+		}
+	}
+}
+
+func TestCitationReaderMissAndCacheHit(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	r, err := OpenCitationReader(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Get(424242); err == nil {
+		t.Fatal("missing ID served")
+	}
+	if r.Has(424242) {
+		t.Fatal("Has(missing) = true")
+	}
+	// Two Gets of the same ID must return the identical cached pointer.
+	id := ds.Corpus.At(0).ID
+	a, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache did not serve the second Get")
+	}
+	// Evict by reading more than the cache holds; the ID must still load.
+	for i := 1; i < 8; i++ {
+		if _, err := r.Get(ds.Corpus.At(i).ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Title != a.Title {
+		t.Fatal("reload after eviction differs")
+	}
+}
+
+func TestCitationReaderZeroCache(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	r, err := OpenCitationReader(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	id := ds.Corpus.At(3).ID
+	a, _ := r.Get(id)
+	b, _ := r.Get(id)
+	if a == nil || b == nil || a == b {
+		t.Fatal("zero cache should decode fresh copies")
+	}
+}
+
+func TestCitationReaderDetectsCorruption(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	path := filepath.Join(dir, "citations.tbl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte beyond the leading varint of the first record's payload.
+	data[4+8+6] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCitationReader(dir, 4)
+	if err != nil {
+		t.Fatal(err) // index build skips CRC; corruption surfaces on Get
+	}
+	defer r.Close()
+	if _, err := r.Get(ds.Corpus.At(0).ID); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on corrupted record: %v", err)
+	}
+	// Other records stay readable.
+	if _, err := r.Get(ds.Corpus.At(5).ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCitationReaderConcurrent(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	r, err := OpenCitationReader(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				id := ds.Corpus.At((g*7 + i) % ds.Corpus.Len()).ID
+				if _, err := r.Get(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCitationReaderMissingTable(t *testing.T) {
+	if _, err := OpenCitationReader(t.TempDir(), 4); err == nil {
+		t.Fatal("open succeeded without citations table")
+	}
+}
+
+func BenchmarkCitationReaderGet(b *testing.B) {
+	ds := testDatasetSized(b, 1500, 800)
+	dir := b.TempDir()
+	if err := ds.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenCitationReader(dir, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	ids := ds.Corpus.IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

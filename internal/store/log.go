@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Table file layout:
+//
+//	magic "BNT1" (4 bytes)
+//	repeated records: [uint32 payload length][uint32 CRC-32C of payload][payload]
+//
+// Lengths and CRCs are little-endian. A torn tail (partial header or a
+// payload whose CRC fails in the final record position) is treated as a
+// crash artifact and truncated on open; corruption anywhere before the tail
+// is a hard error.
+
+var tableMagic = [4]byte{'B', 'N', 'T', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordSize bounds a single record; it protects the reader from
+// allocating absurd buffers on corrupt length prefixes.
+const maxRecordSize = 256 << 20
+
+// LogWriter appends CRC-framed records to a table file.
+type LogWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	n   int // records written
+	err error
+}
+
+// CreateLog creates (truncating) a table file at path.
+func CreateLog(path string) (*LogWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: create log: %w", err)
+	}
+	w := &LogWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := w.bw.Write(tableMagic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: write magic: %w", err)
+	}
+	return w, nil
+}
+
+// Append writes one record. After any error the writer is poisoned and
+// every subsequent Append returns the same error.
+func (w *LogWriter) Append(payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = fmt.Errorf("store: append: %w", err)
+		return w.err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = fmt.Errorf("store: append: %w", err)
+		return w.err
+	}
+	w.n++
+	return nil
+}
+
+// Records reports how many records have been appended.
+func (w *LogWriter) Records() int { return w.n }
+
+// Close flushes, fsyncs, and closes the file. Close after a write error
+// still releases the descriptor but reports the earlier error.
+func (w *LogWriter) Close() error {
+	flushErr := w.bw.Flush()
+	var syncErr error
+	if w.err == nil && flushErr == nil {
+		syncErr = w.f.Sync()
+	}
+	closeErr := w.f.Close()
+	switch {
+	case w.err != nil:
+		return w.err
+	case flushErr != nil:
+		return fmt.Errorf("store: flush: %w", flushErr)
+	case syncErr != nil:
+		return fmt.Errorf("store: sync: %w", syncErr)
+	case closeErr != nil:
+		return fmt.Errorf("store: close: %w", closeErr)
+	}
+	return nil
+}
+
+// ReadLog reads every record of a table file, invoking fn for each payload.
+// The payload slice is reused between calls; fn must copy data it retains.
+// A torn final record is silently dropped (crash recovery); earlier
+// corruption returns an error wrapping ErrCorrupt.
+func ReadLog(path string, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open log: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %s: missing magic (%v)", ErrCorrupt, path, err)
+	}
+	if magic != tableMagic {
+		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, magic[:])
+	}
+
+	var buf []byte
+	for recNo := 0; ; recNo++ {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end
+			}
+			// Partial header: torn tail from a crash mid-append.
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordSize {
+			return fmt.Errorf("%w: %s: record %d claims %d bytes", ErrCorrupt, path, recNo, length)
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			// Torn payload at the tail: recoverable.
+			return nil
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != want {
+			// A checksum failure on the final record is a torn tail; in
+			// the middle of the file it is corruption. Distinguish by
+			// peeking for more data.
+			if _, err := br.Peek(1); err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: record %d checksum %08x != %08x", ErrCorrupt, path, recNo, got, want)
+		}
+		if err := fn(buf); err != nil {
+			return err
+		}
+	}
+}

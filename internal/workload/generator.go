@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"fmt"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/rng"
+)
+
+// generator accumulates the synthetic corpus: background noise plus each
+// query's planted result set.
+type generator struct {
+	tree     *hierarchy.Tree
+	src      *rng.Source
+	ann      *corpus.Annotator
+	reserved map[string]struct{}
+
+	citations []corpus.Citation
+	nextID    corpus.CitationID
+}
+
+// background appends one noise citation whose terms avoid every reserved
+// query token.
+func (g *generator) background() {
+	focus := hierarchy.ConceptID(1 + g.src.Intn(g.tree.Len()-1))
+	var title string
+	var terms []string
+	for {
+		title = fmt.Sprintf("Observations on %s and %s",
+			g.tree.Label(focus), g.tree.Label(hierarchy.ConceptID(1+g.src.Intn(g.tree.Len()-1))))
+		terms = corpus.Tokenize(title)
+		if !g.containsReserved(terms) {
+			break
+		}
+		// Reserved collision (a generated label shares a query token):
+		// re-roll the secondary concept; focus advances to ensure progress.
+		focus = hierarchy.ConceptID(1 + g.src.Intn(g.tree.Len()-1))
+	}
+	g.citations = append(g.citations, corpus.Citation{
+		ID:       g.nextID,
+		Title:    title,
+		Authors:  []string{"Background A."},
+		Year:     1980 + g.src.Intn(28),
+		Terms:    terms,
+		Concepts: g.ann.Annotate(focus, 20+g.src.Intn(30)),
+	})
+	g.nextID++
+}
+
+func (g *generator) containsReserved(terms []string) bool {
+	for _, t := range terms {
+		if _, bad := g.reserved[t]; bad {
+			return true
+		}
+	}
+	return false
+}
+
+// plantQuery appends the spec.ResultSize citations of one query result and
+// returns their IDs together with the research-area focus concepts
+// (Foci[0] is the target). Exactly spec.TargetL of the citations are
+// annotated with the target concept; the remainder is spread over the
+// other areas. Every planted citation carries the keyword tokens so the
+// search index returns exactly this set.
+func (g *generator) plantQuery(spec QuerySpec, target hierarchy.ConceptID) ([]corpus.CitationID, []hierarchy.ConceptID, error) {
+	if spec.TargetL > spec.ResultSize {
+		return nil, nil, fmt.Errorf("workload: %q: TargetL %d exceeds ResultSize %d",
+			spec.Keyword, spec.TargetL, spec.ResultSize)
+	}
+	areas := spec.FocusAreas
+	if areas < 1 {
+		areas = 1
+	}
+	// Research-area foci: the target plus areas-1 other concepts at
+	// moderate depth, preferably in different top-level categories (the
+	// paper stresses that prothymosin's areas are independent).
+	foci := []hierarchy.ConceptID{target}
+	for len(foci) < areas {
+		c := hierarchy.ConceptID(1 + g.src.Intn(g.tree.Len()-1))
+		if d := g.tree.Node(c).Depth; d < 3 || d > 7 {
+			continue
+		}
+		ok := true
+		for _, prev := range foci {
+			if prev == c || g.tree.IsAncestor(prev, c) || g.tree.IsAncestor(c, prev) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			foci = append(foci, c)
+		}
+	}
+
+	keyTokens := corpus.Tokenize(spec.Keyword)
+	ids := make([]corpus.CitationID, 0, spec.ResultSize)
+	for i := 0; i < spec.ResultSize; i++ {
+		// The first TargetL citations belong to the target's research
+		// area; the rest round-robin over the other areas (or stay with
+		// the target area's general vicinity for single-area queries).
+		var focus hierarchy.ConceptID
+		var mustHaveTarget bool
+		if i < spec.TargetL {
+			focus = target
+			mustHaveTarget = true
+		} else if areas > 1 {
+			focus = foci[1+i%(areas-1)]
+		} else {
+			// Single-area query: non-target citations cluster around the
+			// target's parent region.
+			focus = g.tree.Parent(target)
+			if focus == g.tree.Root() || focus == hierarchy.None {
+				focus = target
+			}
+		}
+
+		density := spec.MeanConcepts/2 + g.src.Intn(spec.MeanConcepts+1)
+		concepts := g.ann.Annotate(focus, density)
+		if !mustHaveTarget {
+			concepts = dropConcept(g.tree, concepts, target)
+		}
+
+		// Titles mention two of the citation's own (deep) concepts, so the
+		// corpus has realistic term diversity within and across research
+		// areas instead of one shared template per area.
+		title := fmt.Sprintf("%s in the context of %s and %s",
+			spec.Keyword, g.tree.Label(pickDeep(g.src, g.tree, concepts)),
+			g.tree.Label(pickDeep(g.src, g.tree, concepts)))
+		terms := append(append([]string(nil), keyTokens...), corpus.Tokenize(title)...)
+		terms = dedupe(terms)
+		// A concept label may coincide with another query's keyword (the
+		// label vocabulary is biomedical too); strip foreign query tokens
+		// so each keyword search returns exactly its planted set.
+		terms = g.stripForeignReserved(terms, keyTokens)
+
+		g.citations = append(g.citations, corpus.Citation{
+			ID:       g.nextID,
+			Title:    title,
+			Authors:  []string{"Planted A.", "Planted B."},
+			Year:     1990 + g.src.Intn(19),
+			Terms:    terms,
+			Concepts: concepts,
+		})
+		ids = append(ids, g.nextID)
+		g.nextID++
+	}
+	return ids, foci, nil
+}
+
+// pickDeep returns a random concept from the deeper half of a citation's
+// annotation set (specific concepts make plausible title words).
+func pickDeep(src *rng.Source, tree *hierarchy.Tree, concepts []hierarchy.ConceptID) hierarchy.ConceptID {
+	if len(concepts) == 0 {
+		return 1
+	}
+	best := concepts[src.Intn(len(concepts))]
+	for try := 0; try < 3; try++ {
+		c := concepts[src.Intn(len(concepts))]
+		if tree.Node(c).Depth > tree.Node(best).Depth {
+			best = c
+		}
+	}
+	return best
+}
+
+// dropConcept removes target and its whole subtree from a concept set
+// (subtree removal keeps the set ancestor-closed).
+func dropConcept(tree *hierarchy.Tree, concepts []hierarchy.ConceptID, target hierarchy.ConceptID) []hierarchy.ConceptID {
+	out := concepts[:0]
+	for _, c := range concepts {
+		if c == target || tree.IsAncestor(target, c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// stripForeignReserved removes reserved query tokens that are not the
+// current query's own tokens.
+func (g *generator) stripForeignReserved(terms, own []string) []string {
+	ownSet := make(map[string]struct{}, len(own))
+	for _, t := range own {
+		ownSet[t] = struct{}{}
+	}
+	out := terms[:0]
+	for _, t := range terms {
+		if _, reserved := g.reserved[t]; reserved {
+			if _, mine := ownSet[t]; !mine {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func dedupe(terms []string) []string {
+	seen := make(map[string]struct{}, len(terms))
+	out := terms[:0]
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/store"
+)
+
+// workloadTable is the sidecar table persisting the realized queries next
+// to the dataset, so a database generated with `bionav-gen -workload`
+// round-trips the Table I metadata (keyword, target concept, result set,
+// generation spec).
+const workloadTable = "workload"
+
+// Save writes the workload's dataset plus the query sidecar table.
+func (w *Workload) Save(dir string) error {
+	return w.Dataset.SaveWith(dir, func(sw *store.Writer) error {
+		tbl, err := sw.CreateTable(workloadTable)
+		if err != nil {
+			return err
+		}
+		var enc store.Encoder
+		for i := range w.Queries {
+			q := &w.Queries[i]
+			enc.Reset()
+			enc.PutString(q.Spec.Keyword)
+			enc.PutString(q.Spec.TargetLabel)
+			enc.PutUvarint(uint64(q.Spec.ResultSize))
+			enc.PutUvarint(uint64(q.Spec.TargetDepth))
+			enc.PutUvarint(uint64(q.Spec.TargetL))
+			enc.PutUvarint(uint64(q.Spec.TargetGlobal))
+			enc.PutUvarint(uint64(q.Spec.FocusAreas))
+			enc.PutUvarint(uint64(q.Spec.MeanConcepts))
+			enc.PutUvarint(uint64(q.Target))
+			enc.PutUvarint(uint64(len(q.Foci)))
+			for _, f := range q.Foci {
+				enc.PutUvarint(uint64(f))
+			}
+			enc.PutUvarint(uint64(len(q.Results)))
+			prev := corpus.CitationID(0)
+			for _, id := range q.Results {
+				enc.PutUvarint(uint64(id - prev))
+				prev = id
+			}
+			if err := tbl.Append(enc.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Load reads a workload previously written by Save. It fails if dir holds
+// a plain dataset without the workload sidecar.
+func Load(dir string) (*Workload, error) {
+	ds, err := store.LoadDataset(dir)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !db.HasTable(workloadTable) {
+		return nil, fmt.Errorf("workload: %s has no workload table (generated without -workload?)", dir)
+	}
+	w := &Workload{Dataset: ds}
+	err = db.ForEach(workloadTable, func(payload []byte) error {
+		d := store.NewDecoder(payload)
+		var q Query
+		var u uint64
+		if q.Spec.Keyword, err = d.String(); err != nil {
+			return err
+		}
+		if q.Spec.TargetLabel, err = d.String(); err != nil {
+			return err
+		}
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.ResultSize = int(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.TargetDepth = int(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.TargetL = int(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.TargetGlobal = int64(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.FocusAreas = int(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Spec.MeanConcepts = int(u)
+		if u, err = d.Uvarint(); err != nil {
+			return err
+		}
+		q.Target = hierarchy.ConceptID(u)
+		if q.Target <= 0 || int(q.Target) >= ds.Tree.Len() {
+			return fmt.Errorf("workload: query %q has out-of-range target %d", q.Spec.Keyword, q.Target)
+		}
+		nf, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nf; j++ {
+			f, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			if f == 0 || int(f) >= ds.Tree.Len() {
+				return fmt.Errorf("workload: query %q has out-of-range focus %d", q.Spec.Keyword, f)
+			}
+			q.Foci = append(q.Foci, hierarchy.ConceptID(f))
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		prev := corpus.CitationID(0)
+		for j := uint64(0); j < n; j++ {
+			delta, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			prev += corpus.CitationID(delta)
+			q.Results = append(q.Results, prev)
+		}
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		w.Queries = append(w.Queries, q)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("workload: empty workload table in %s", dir)
+	}
+	return w, nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWorkloadSaveLoadRoundTrip(t *testing.T) {
+	w := genSmall(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := w.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != len(w.Queries) {
+		t.Fatalf("queries: %d vs %d", len(got.Queries), len(w.Queries))
+	}
+	for i := range w.Queries {
+		a, b := &w.Queries[i], &got.Queries[i]
+		if a.Spec != b.Spec || a.Target != b.Target || len(a.Results) != len(b.Results) {
+			t.Fatalf("query %d differs: %+v vs %+v", i, a.Spec, b.Spec)
+		}
+		if len(a.Foci) != len(b.Foci) {
+			t.Fatalf("query %d foci differ: %v vs %v", i, a.Foci, b.Foci)
+		}
+		for j := range a.Foci {
+			if a.Foci[j] != b.Foci[j] {
+				t.Fatalf("query %d focus %d differs", i, j)
+			}
+		}
+		for j := range a.Results {
+			if a.Results[j] != b.Results[j] {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+	// The reloaded workload must be fully usable: navigation trees resolve
+	// targets and the index reproduces the planted result sets.
+	for i := range got.Queries {
+		q := &got.Queries[i]
+		nav, target, err := got.NavTree(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q.Spec.Keyword, err)
+		}
+		if nav.NumResults(target) != q.Spec.TargetL {
+			t.Fatalf("%q: L(target) = %d after reload", q.Spec.Keyword, nav.NumResults(target))
+		}
+	}
+}
+
+func TestLoadRejectsPlainDataset(t *testing.T) {
+	w := genSmall(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := w.Dataset.Save(dir); err != nil { // no sidecar
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("plain dataset accepted as workload")
+	}
+}
+
+func TestLoadRejectsMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"testing"
+
+	"bionav/internal/hierarchy"
+)
+
+// smallConfig shrinks the workload for fast tests while keeping every
+// Table I query.
+func smallConfig() Config {
+	specs := TableI()
+	for i := range specs {
+		specs[i].ResultSize = (specs[i].ResultSize + 3) / 4
+		if specs[i].TargetL > specs[i].ResultSize {
+			specs[i].TargetL = specs[i].ResultSize / 2
+		}
+		if specs[i].TargetL < 2 {
+			specs[i].TargetL = 2
+		}
+		specs[i].MeanConcepts = 30
+	}
+	return Config{Seed: 2009, HierarchyNodes: 6000, Background: 200, Specs: specs}
+}
+
+func genSmall(t *testing.T) *Workload {
+	t.Helper()
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTableIHasTenQueries(t *testing.T) {
+	specs := TableI()
+	if len(specs) != 10 {
+		t.Fatalf("Table I has %d queries, want 10", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Keyword] {
+			t.Fatalf("duplicate keyword %q", s.Keyword)
+		}
+		seen[s.Keyword] = true
+		if s.ResultSize <= 0 || s.TargetL <= 0 || s.TargetL > s.ResultSize {
+			t.Fatalf("bad spec %+v", s)
+		}
+		if s.TargetGlobal < int64(s.TargetL) {
+			t.Fatalf("%q: global count below result count", s.Keyword)
+		}
+	}
+	// The two result sizes quoted verbatim in the paper's prose.
+	for _, want := range []struct {
+		kw   string
+		size int
+	}{{"prothymosin", 313}, {"vardenafil", 486}} {
+		found := false
+		for _, s := range specs {
+			if s.Keyword == want.kw && s.ResultSize == want.size {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("spec for %q with result size %d missing", want.kw, want.size)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := genSmall(t), genSmall(t)
+	if a.Dataset.Corpus.Len() != b.Dataset.Corpus.Len() {
+		t.Fatal("corpus sizes differ")
+	}
+	for i := range a.Queries {
+		qa, qb := a.Queries[i], b.Queries[i]
+		if qa.Target != qb.Target || len(qa.Results) != len(qb.Results) {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestSearchReturnsExactlyPlantedSet(t *testing.T) {
+	w := genSmall(t)
+	for _, q := range w.Queries {
+		got := w.Dataset.Index.Search(q.Spec.Keyword)
+		if len(got) != len(q.Results) {
+			t.Errorf("%q: search returned %d citations, planted %d",
+				q.Spec.Keyword, len(got), len(q.Results))
+			continue
+		}
+		for i := range got {
+			if got[i] != q.Results[i] {
+				t.Errorf("%q: result %d is %d, want %d", q.Spec.Keyword, i, got[i], q.Results[i])
+				break
+			}
+		}
+	}
+}
+
+func TestTargetCharacteristics(t *testing.T) {
+	w := genSmall(t)
+	tree := w.Dataset.Tree
+	for _, q := range w.Queries {
+		n := tree.Node(q.Target)
+		if n.Label != q.Spec.TargetLabel {
+			t.Errorf("%q: target label %q, want %q", q.Spec.Keyword, n.Label, q.Spec.TargetLabel)
+		}
+		if n.Depth != q.Spec.TargetDepth {
+			t.Errorf("%q: target depth %d, want %d", q.Spec.Keyword, n.Depth, q.Spec.TargetDepth)
+		}
+		if got := w.Dataset.Corpus.GlobalCount(q.Target); got != q.Spec.TargetGlobal {
+			t.Errorf("%q: target global count %d, want %d", q.Spec.Keyword, got, q.Spec.TargetGlobal)
+		}
+		// Exactly TargetL result citations carry the target concept.
+		count := 0
+		for _, id := range q.Results {
+			for _, c := range w.Dataset.Corpus.Concepts(id) {
+				if c == q.Target {
+					count++
+					break
+				}
+			}
+		}
+		if count != q.Spec.TargetL {
+			t.Errorf("%q: %d result citations carry the target, want %d",
+				q.Spec.Keyword, count, q.Spec.TargetL)
+		}
+	}
+}
+
+func TestNavTreeContainsTarget(t *testing.T) {
+	w := genSmall(t)
+	for _, q := range w.Queries {
+		nav, target, err := w.NavTree(&q)
+		if err != nil {
+			t.Fatalf("%q: %v", q.Spec.Keyword, err)
+		}
+		if err := nav.Validate(); err != nil {
+			t.Fatalf("%q: %v", q.Spec.Keyword, err)
+		}
+		if nav.DistinctTotal() != len(q.Results) {
+			t.Errorf("%q: nav tree over %d citations, want %d",
+				q.Spec.Keyword, nav.DistinctTotal(), len(q.Results))
+		}
+		if got := nav.NumResults(target); got != q.Spec.TargetL {
+			t.Errorf("%q: L(target) = %d, want %d", q.Spec.Keyword, got, q.Spec.TargetL)
+		}
+	}
+}
+
+func TestTargetsPairwiseIndependent(t *testing.T) {
+	w := genSmall(t)
+	tree := w.Dataset.Tree
+	for i := range w.Queries {
+		for j := range w.Queries {
+			if i == j {
+				continue
+			}
+			a, b := w.Queries[i].Target, w.Queries[j].Target
+			if a == b || tree.IsAncestor(a, b) {
+				t.Fatalf("targets %d and %d not independent", i, j)
+			}
+		}
+	}
+}
+
+func TestQueryByKeyword(t *testing.T) {
+	w := genSmall(t)
+	q, ok := w.QueryByKeyword("prothymosin")
+	if !ok || q.Spec.TargetLabel != "Histones" {
+		t.Fatalf("QueryByKeyword = %+v, %v", q, ok)
+	}
+	if _, ok := w.QueryByKeyword("nonexistent"); ok {
+		t.Fatal("found nonexistent query")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, HierarchyNodes: 1000, Specs: nil}); err == nil {
+		t.Fatal("empty specs accepted")
+	}
+	bad := smallConfig()
+	bad.Specs[0].TargetL = bad.Specs[0].ResultSize + 1
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("TargetL > ResultSize accepted")
+	}
+}
+
+func TestRelabeledTreeStillValid(t *testing.T) {
+	w := genSmall(t)
+	if err := w.Dataset.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Targets resolvable by their Table I labels.
+	for _, q := range w.Queries {
+		id, ok := w.Dataset.Tree.ByLabel(q.Spec.TargetLabel)
+		if !ok || id != q.Target {
+			t.Fatalf("ByLabel(%q) = %v, %v", q.Spec.TargetLabel, id, ok)
+		}
+	}
+	_ = hierarchy.None // keep import if assertions above change
+}
+
+func TestFociExposed(t *testing.T) {
+	w := genSmall(t)
+	for _, q := range w.Queries {
+		if len(q.Foci) != q.Spec.FocusAreas {
+			t.Fatalf("%q: %d foci, want %d", q.Spec.Keyword, len(q.Foci), q.Spec.FocusAreas)
+		}
+		if q.Foci[0] != q.Target {
+			t.Fatalf("%q: Foci[0] != Target", q.Spec.Keyword)
+		}
+		tree := w.Dataset.Tree
+		for i, a := range q.Foci {
+			for j, b := range q.Foci {
+				if i != j && (a == b || tree.IsAncestor(a, b)) {
+					t.Fatalf("%q: foci %d and %d not independent", q.Spec.Keyword, i, j)
+				}
+			}
+		}
+	}
+}
