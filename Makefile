@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments demo clean
+.PHONY: all check build test race vet fmt bench bench-json experiments demo clean
 
 all: fmt vet test build
+
+# Full pre-merge gate: formatting, vet, build, tests, and the race detector.
+check: fmt vet build test race
 
 build:
 	$(GO) build ./...
@@ -23,7 +26,11 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Machine-readable core benchmark run, for before/after comparisons.
+bench-json:
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core > BENCH_core.json
 
 # Regenerate every table and figure of the paper's evaluation (§VIII).
 experiments:

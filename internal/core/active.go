@@ -26,7 +26,22 @@ type ActiveTree struct {
 	scores    []float64 // per node: s(n) = |res(n)| / cnt(n)
 	sumScores float64
 
-	undo [][]navtree.NodeID // snapshots of compOf for BACKTRACK
+	// Immutable per-subtree aggregates, built once bottom-up: the citation
+	// union and node count of each node's full navigation subtree. They
+	// answer Distinct/ComponentSize/DistinctUnder in O(words)/O(1) whenever
+	// the component still covers the whole subtree of its root, which the
+	// full flags track (every component starts full; EXPAND passes fullness
+	// to the lower components it detaches and clears it on the upper).
+	subtreeBits []bitset
+	subtreeSize []int
+	full        []bool // meaningful for component roots only
+
+	undo []undoFrame // snapshots for BACKTRACK
+}
+
+type undoFrame struct {
+	compOf []navtree.NodeID
+	full   []bool
 }
 
 // NewActiveTree converts a navigation tree into its initial active tree:
@@ -34,26 +49,41 @@ type ActiveTree struct {
 func NewActiveTree(nav *navtree.Tree) *ActiveTree {
 	n := nav.Len()
 	at := &ActiveTree{
-		nav:    nav,
-		compOf: make([]navtree.NodeID, n),
-		bits:   make([]bitset, n),
-		scores: make([]float64, n),
+		nav:         nav,
+		compOf:      make([]navtree.NodeID, n),
+		bits:        make([]bitset, n),
+		scores:      make([]float64, n),
+		subtreeBits: make([]bitset, n),
+		subtreeSize: make([]int, n),
+		full:        make([]bool, n),
 	}
-	nbits := nav.DistinctTotal()
+	words := (nav.DistinctTotal() + 63) / 64
+	ownBack := make([]uint64, n*words)
+	subBack := make([]uint64, n*words)
 	for i := 0; i < n; i++ {
 		at.compOf[i] = nav.Root()
-		b := newBitset(nbits)
-		for _, cid := range nav.Results(i) {
-			if idx, ok := nav.ResultIndex(cid); ok {
-				b.set(idx)
-			}
+		b := bitset(ownBack[i*words : (i+1)*words])
+		for _, idx := range nav.ResultIndexes(i) {
+			b.set(int(idx))
 		}
 		at.bits[i] = b
+		sb := bitset(subBack[i*words : (i+1)*words])
+		copy(sb, b)
+		at.subtreeBits[i] = sb
+		at.subtreeSize[i] = 1
 		if cnt := nav.GlobalCount(i); cnt > 0 {
 			at.scores[i] = float64(nav.NumResults(i)) / float64(cnt)
 		}
 		at.sumScores += at.scores[i]
 	}
+	// Parents precede children in ID order, so one reverse sweep ORs each
+	// subtree into its parent instead of re-scanning results per ancestor.
+	for i := n - 1; i >= 1; i-- {
+		p := nav.Parent(i)
+		at.subtreeBits[p].orInto(at.subtreeBits[i])
+		at.subtreeSize[p] += at.subtreeSize[i]
+	}
+	at.full[nav.Root()] = true
 	return at
 }
 
@@ -100,8 +130,17 @@ func (at *ActiveTree) Members(root navtree.NodeID) []navtree.NodeID {
 	return out
 }
 
+// fullComponent reports whether root's component covers root's entire
+// navigation subtree, enabling the precomputed-aggregate fast paths.
+func (at *ActiveTree) fullComponent(root navtree.NodeID) bool {
+	return at.full[root] && at.compOf[root] == root
+}
+
 // ComponentSize reports |I(root)| without materializing the member list.
 func (at *ActiveTree) ComponentSize(root navtree.NodeID) int {
+	if at.fullComponent(root) {
+		return at.subtreeSize[root]
+	}
 	n := 0
 	at.nav.PreOrder(root, func(m navtree.NodeID) bool {
 		if at.compOf[m] != root {
@@ -117,7 +156,10 @@ func (at *ActiveTree) ComponentSize(root navtree.NodeID) int {
 // to the component rooted at root — the count shown next to the concept in
 // the interface (Definition 5).
 func (at *ActiveTree) Distinct(root navtree.NodeID) int {
-	u := newBitset(at.nav.DistinctTotal())
+	if at.fullComponent(root) {
+		return at.subtreeBits[root].count()
+	}
+	u := getScratch(at.nav.DistinctTotal())
 	at.nav.PreOrder(root, func(n navtree.NodeID) bool {
 		if at.compOf[n] != root {
 			return false
@@ -125,14 +167,19 @@ func (at *ActiveTree) Distinct(root navtree.NodeID) int {
 		u.orInto(at.bits[n])
 		return true
 	})
-	return u.count()
+	c := u.count()
+	putScratch(u)
+	return c
 }
 
 // DistinctUnder returns the number of distinct citations attached to the
 // portion of root's component that lies in the subtree of n — the count a
 // lower component would display if the edge above n were cut.
 func (at *ActiveTree) DistinctUnder(root, n navtree.NodeID) int {
-	u := newBitset(at.nav.DistinctTotal())
+	if at.fullComponent(root) && at.compOf[n] == root {
+		return at.subtreeBits[n].count()
+	}
+	u := getScratch(at.nav.DistinctTotal())
 	at.nav.PreOrder(n, func(m navtree.NodeID) bool {
 		if at.compOf[m] != root {
 			return false
@@ -140,12 +187,16 @@ func (at *ActiveTree) DistinctUnder(root, n navtree.NodeID) int {
 		u.orInto(at.bits[m])
 		return true
 	})
-	return u.count()
+	c := u.count()
+	putScratch(u)
+	return c
 }
 
 // ExploreProb returns pX(I(root)) of §IV: the sum of normalized
 // selectivities of the component's members. For the initial active tree
-// this is exactly 1.
+// this is exactly 1. No subtree-aggregate fast path here: precomputed
+// float sums would accumulate in a different order than this walk, and
+// policy decisions may compare the results exactly.
 func (at *ActiveTree) ExploreProb(root navtree.NodeID) float64 {
 	if at.sumScores == 0 {
 		return 0
@@ -207,6 +258,10 @@ func (at *ActiveTree) Expand(root navtree.NodeID, cut []Edge) ([]navtree.NodeID,
 	}
 
 	at.pushUndo()
+	// A full component hands whole subtrees to the cut children (the cut
+	// children are pairwise incomparable), so the lower components stay
+	// full; the upper component loses descendants either way.
+	lowerFull := at.full[root]
 	lower := make([]navtree.NodeID, 0, len(cut))
 	for _, e := range cut {
 		at.nav.PreOrder(e.Child, func(n navtree.NodeID) bool {
@@ -216,8 +271,10 @@ func (at *ActiveTree) Expand(root navtree.NodeID, cut []Edge) ([]navtree.NodeID,
 			at.compOf[n] = e.Child
 			return true
 		})
+		at.full[e.Child] = lowerFull
 		lower = append(lower, e.Child)
 	}
+	at.full[root] = false
 	sort.Ints(lower)
 	return lower, nil
 }
@@ -246,15 +303,21 @@ func (at *ActiveTree) Backtrack() error {
 	if len(at.undo) == 0 {
 		return fmt.Errorf("core: backtrack: nothing to undo")
 	}
-	at.compOf = at.undo[len(at.undo)-1]
+	f := at.undo[len(at.undo)-1]
+	at.compOf = f.compOf
+	at.full = f.full
 	at.undo = at.undo[:len(at.undo)-1]
 	return nil
 }
 
 func (at *ActiveTree) pushUndo() {
-	snap := make([]navtree.NodeID, len(at.compOf))
-	copy(snap, at.compOf)
-	at.undo = append(at.undo, snap)
+	f := undoFrame{
+		compOf: make([]navtree.NodeID, len(at.compOf)),
+		full:   make([]bool, len(at.full)),
+	}
+	copy(f.compOf, at.compOf)
+	copy(f.full, at.full)
+	at.undo = append(at.undo, f)
 }
 
 // Reset collapses the active tree back to its initial single component and
@@ -262,7 +325,9 @@ func (at *ActiveTree) pushUndo() {
 func (at *ActiveTree) Reset() {
 	for i := range at.compOf {
 		at.compOf[i] = at.nav.Root()
+		at.full[i] = false
 	}
+	at.full[at.nav.Root()] = true
 	at.undo = nil
 }
 
@@ -321,7 +386,9 @@ func (at *ActiveTree) Visualize() map[navtree.NodeID]*VisibleNode {
 // CheckInvariants verifies the active-tree invariants of Definition 4:
 // components partition the node set, each component is a connected subtree
 // containing its root, and every component root's parent (if any) lies in
-// a different component. Property tests call this after every operation.
+// a different component. It also cross-checks the full-subtree fast-path
+// flags against the definition they summarize. Property tests call this
+// after every operation.
 func (at *ActiveTree) CheckInvariants() error {
 	seen := 0
 	for _, r := range at.VisibleRoots() {
@@ -337,6 +404,10 @@ func (at *ActiveTree) CheckInvariants() error {
 		}
 		if r != at.nav.Root() && at.compOf[at.nav.Parent(r)] == r {
 			return fmt.Errorf("core: component root %d's parent inside own component", r)
+		}
+		if at.full[r] && len(m) != at.subtreeSize[r] {
+			return fmt.Errorf("core: component %d marked full but has %d of %d subtree nodes",
+				r, len(m), at.subtreeSize[r])
 		}
 	}
 	if seen != at.nav.Len() {

@@ -6,7 +6,10 @@
 // plus the static-navigation baselines the paper compares against (§VIII).
 package core
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // bitset is a fixed-width bitmap over the distinct citations of one query
 // result. Distinct counts throughout the cost model are popcounts of unions
@@ -15,6 +18,38 @@ type bitset []uint64
 
 func newBitset(nbits int) bitset {
 	return make(bitset, (nbits+63)/64)
+}
+
+// scratchPool recycles transient union buffers across NewActiveTree /
+// Distinct / Opt-EdgeCut calls. Buffers are width-agnostic: getScratch
+// reslices a pooled buffer when it is wide enough and falls back to a
+// fresh allocation otherwise, so mixed-size trees simply repopulate the
+// pool with the larger width over time.
+var scratchPool sync.Pool // holds *bitset
+
+// getScratch returns a zeroed bitset of at least nbits bits, preferably
+// from the pool. Pair every getScratch with a putScratch once the buffer's
+// contents are no longer needed.
+func getScratch(nbits int) bitset {
+	words := (nbits + 63) / 64
+	if v := scratchPool.Get(); v != nil {
+		b := *(v.(*bitset))
+		if cap(b) >= words {
+			b = b[:words]
+			b.clear()
+			return b
+		}
+	}
+	return make(bitset, words)
+}
+
+// putScratch returns a buffer obtained from getScratch to the pool.
+func putScratch(b bitset) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	scratchPool.Put(&b)
 }
 
 func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }

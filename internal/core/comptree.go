@@ -20,6 +20,16 @@ type compTree struct {
 	NavEdge  []Edge    // for i > 0: the navigation-tree edge whose cut detaches node i
 	Sum      float64   // the active tree's Σ s(m) normalizer
 	descMask []uint64  // bitmask of each node's subtree (including itself)
+
+	// Child-list pre-order, used by the Opt-EdgeCut fold: pre is the node
+	// sequence of a DFS that follows Children in order (which can differ
+	// from index order when sibling subtrees interleave), preIdx maps a
+	// node to its position in pre, and preEnd to the position just past its
+	// subtree — so [preIdx[v]+1, preEnd[v]) spans exactly the nodes whose
+	// parent edges a cut of the component rooted at v may sever.
+	pre    []int
+	preIdx []int
+	preEnd []int
 }
 
 // maxOptNodes bounds the trees Opt-EdgeCut accepts. The DP enumerates
@@ -120,7 +130,9 @@ func newCompTree(n int, sum float64) *compTree {
 
 func (ct *compTree) len() int { return len(ct.Parent) }
 
-// computeDescMasks fills descMask bottom-up (children have larger indexes).
+// computeDescMasks fills descMask bottom-up (children have larger indexes)
+// and the pre-order tables the Opt-EdgeCut fold walks; every construction
+// path must call it last.
 func (ct *compTree) computeDescMasks() {
 	for i := ct.len() - 1; i >= 0; i-- {
 		m := uint64(1) << uint(i)
@@ -129,6 +141,24 @@ func (ct *compTree) computeDescMasks() {
 		}
 		ct.descMask[i] = m
 	}
+	ct.computePreOrder()
+}
+
+func (ct *compTree) computePreOrder() {
+	n := ct.len()
+	ct.pre = make([]int, 0, n)
+	ct.preIdx = make([]int, n)
+	ct.preEnd = make([]int, n)
+	var walk func(v int)
+	walk = func(v int) {
+		ct.preIdx[v] = len(ct.pre)
+		ct.pre = append(ct.pre, v)
+		for _, c := range ct.Children[v] {
+			walk(c)
+		}
+		ct.preEnd[v] = len(ct.pre)
+	}
+	walk(0)
 }
 
 // exploreProb returns pX for the set of compTree nodes in mask.

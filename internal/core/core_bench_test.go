@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"bionav/internal/corpus"
@@ -25,9 +26,71 @@ func BenchmarkNewActiveTree(b *testing.B) {
 		Seed: 92, Citations: 313, MeanConcepts: 90, FirstID: 1, YearLo: 1990, YearHi: 2008,
 	})
 	nav := navtree.Build(corp, corp.IDs())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = NewActiveTree(nav)
+	}
+}
+
+// chainCompTree builds a root with `width` chains of `depth` decision
+// nodes — the bushy reduced-tree shape whose ({cut at one of depth
+// positions} + 1)^width valid EdgeCuts made the old enumerator allocate
+// worst. Every node shares one citation, so sub-states terminate
+// immediately and the benchmark isolates the root cut decision.
+func chainCompTree(width, depth int) *compTree {
+	n := 1 + width*depth
+	ct := newCompTree(n, 0)
+	ct.Parent[0] = -1
+	for c := 0; c < width; c++ {
+		for d := 0; d < depth; d++ {
+			i := 1 + c*depth + d
+			p := 0
+			if d > 0 {
+				p = i - 1
+			}
+			ct.Parent[i] = p
+			ct.Children[p] = append(ct.Children[p], i)
+			ct.NavEdge[i] = Edge{Parent: p, Child: i}
+		}
+	}
+	for i := 0; i < n; i++ {
+		bs := newBitset(2)
+		bs.set(0)
+		ct.Bits[i] = bs
+		ct.Own[i] = 1
+		ct.Score[i] = 0.05 + 0.01*float64(i%7)
+		ct.Sum += ct.Score[i]
+	}
+	ct.computeDescMasks()
+	return ct
+}
+
+// BenchmarkOptEdgeCut sweeps reduced-tree widths at depth 3, comparing the
+// production child-factored fold (dp) against the retained materializing
+// enumerator (enum) on identical trees. Run with -benchmem: the B/op and
+// allocs/op gap is the point.
+func BenchmarkOptEdgeCut(b *testing.B) {
+	model := CostModel{ExpandCost: 1, Thi: 8, Tlo: 2, UseEntropy: true}
+	for _, width := range []int{2, 4, 8} {
+		ct := chainCompTree(width, 3)
+		b.Run(fmt.Sprintf("w%dd3/dp", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := optEdgeCut(ct, model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("w%dd3/enum", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eo := newEnumOptimizer(ct, model)
+				if _, _, err := eo.cutFor(0, ct.descMask[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

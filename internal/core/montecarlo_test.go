@@ -61,12 +61,8 @@ func TestMonteCarloMatchesDP(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		model := CostModel{ExpandCost: 1, Thi: 10, Tlo: 2, UseEntropy: true, DiscountUpper: trial%2 == 1}
 		ct := randomCompTree(t, src, 2+src.Intn(6), 16)
-		o := &optimizer{
-			ct:      ct,
-			model:   model,
-			memo:    make(map[stateKey]stateVal),
-			scratch: newBitset(64 * len(ct.Bits[0])),
-		}
+		o := newOptimizer(ct, model)
+		o.scratch = newBitset(64 * len(ct.Bits[0]))
 		want := o.best(0, ct.descMask[0]).cost
 
 		const users = 60000

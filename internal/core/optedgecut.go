@@ -2,14 +2,15 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
 // This file implements Opt-EdgeCut (§VI-A): the exponential dynamic program
 // that computes the valid EdgeCut minimizing the expected TOPDOWN
-// navigation cost. Finding that cut is NP-complete (Theorem 1), so the
-// DP enumerates, for every reachable component state, all valid EdgeCuts —
-// feasible only for the small (reduced) trees Heuristic-ReducedOpt feeds it.
+// navigation cost. Finding that cut is NP-complete (Theorem 1), so the DP
+// is exponential in the (small, reduced) trees Heuristic-ReducedOpt feeds
+// it — but it never materializes a cut.
 //
 // A state is (r, mask): the component rooted at compTree node r whose
 // member set is mask (always ancestor-closed within subtree(r)). Its
@@ -23,27 +24,108 @@ import (
 // and pX, pE are the §IV probability estimators. Each revealed concept
 // label costs 1 (the "1 +" term); re-examining the already-visible upper
 // root costs nothing.
-
-// maxCutsPerState caps cut enumeration so adversarial tree shapes fail
-// loudly instead of hanging.
-const maxCutsPerState = 1 << 18
-
-type stateKey struct {
-	r    int
-	mask uint64
-}
+//
+// Valid cuts factor over the children of retained nodes: once the edge
+// above a node is cut, no edge strictly below it may be; otherwise the
+// node stays retained and each of its children poses the same binary
+// choice. bestCut therefore folds that choice structure directly — walk
+// the component in child-list pre-order, and at each node either cut
+// (accumulate the node's 1 + pX(S_v)·best(v, S_v) term and skip its
+// subtree) or retain (descend into its children) — attaching the upper
+// term w(U)·best(r, U) when the walk completes, at which point U is
+// exactly the set of retained nodes. The fold's leaves are in bijection
+// with the valid cuts and its running sum reproduces each cut's cost
+// term-for-term, so the minimum is exact; because every remaining term is
+// non-negative, a branch whose running sum already reaches the incumbent
+// minimum can be pruned without affecting the result. A previous
+// implementation materialized every cut as a [][]int cartesian product,
+// allocating exponentially many slices and aborting at a hard cut-count
+// cap; the fold needs O(depth) stack, no per-cut allocation, and no cap
+// (the test suite retains that enumerator as a differential oracle).
 
 type stateVal struct {
 	cost float64
 	cut  []int // argmin cut children; nil when SHOWRESULTS is terminal
 }
 
+// memoTable is a small open-addressed hash table from component-member
+// mask to stateVal — one per component root, so the memo key (r, mask)
+// becomes a slice index plus a uint64 probe instead of a two-field map
+// key. Every stored mask contains the root's bit and is therefore
+// non-zero, freeing 0 to mark empty slots.
+type memoTable struct {
+	keys []uint64
+	vals []stateVal
+	n    int
+}
+
+func hashMask(mask uint64) uint64 {
+	h := mask * 0x9e3779b97f4a7c15 // Fibonacci scrambling of the mask bits
+	return h ^ (h >> 32)
+}
+
+func (t *memoTable) get(mask uint64) (stateVal, bool) {
+	if t.n == 0 {
+		return stateVal{}, false
+	}
+	m := uint64(len(t.keys) - 1)
+	for i := hashMask(mask) & m; ; i = (i + 1) & m {
+		switch t.keys[i] {
+		case mask:
+			return t.vals[i], true
+		case 0:
+			return stateVal{}, false
+		}
+	}
+}
+
+func (t *memoTable) put(mask uint64, v stateVal) {
+	if len(t.keys) == 0 {
+		t.keys = make([]uint64, 8)
+		t.vals = make([]stateVal, 8)
+	} else if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	m := uint64(len(t.keys) - 1)
+	i := hashMask(mask) & m
+	for t.keys[i] != 0 && t.keys[i] != mask {
+		i = (i + 1) & m
+	}
+	if t.keys[i] == 0 {
+		t.n++
+	}
+	t.keys[i] = mask
+	t.vals[i] = v
+}
+
+func (t *memoTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.vals = make([]stateVal, 2*len(oldKeys))
+	m := uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := hashMask(k) & m
+		for t.keys[i] != 0 {
+			i = (i + 1) & m
+		}
+		t.keys[i] = k
+		t.vals[i] = oldVals[j]
+	}
+}
+
 type optimizer struct {
-	ct      *compTree
-	model   CostModel
-	memo    map[stateKey]stateVal
+	ct    *compTree
+	model CostModel
+	memo  []memoTable // indexed by component root
+	// scratch is the |L| union buffer; entry points borrow it from the
+	// shared pool for the duration of one call so long-lived optimizers
+	// (CachedHeuristic plans) don't pin a buffer each between EXPANDs.
+	// best assumes it is set.
 	scratch bitset
-	err     error
+	ownBuf  []int // expandProb input; filled and consumed before recursing
 }
 
 // newOptimizer prepares a reusable DP instance over ct; its memo persists
@@ -51,10 +133,23 @@ type optimizer struct {
 // expansions of the same reduced tree (§VI-B).
 func newOptimizer(ct *compTree, model CostModel) *optimizer {
 	return &optimizer{
-		ct:      ct,
-		model:   model,
-		memo:    make(map[stateKey]stateVal),
-		scratch: newBitset(64 * len(ct.Bits[0])),
+		ct:    ct,
+		model: model,
+		memo:  make([]memoTable, ct.len()),
+	}
+}
+
+// borrowScratch takes the union buffer from the pool, returning the
+// release function; it is a no-op when a buffer is already held (nested
+// entry points, or tests that install their own).
+func (o *optimizer) borrowScratch() func() {
+	if o.scratch != nil {
+		return func() {}
+	}
+	o.scratch = getScratch(64 * len(o.ct.Bits[0]))
+	return func() {
+		putScratch(o.scratch)
+		o.scratch = nil
 	}
 }
 
@@ -62,10 +157,9 @@ func newOptimizer(ct *compTree, model CostModel) *optimizer {
 // user has already clicked EXPAND, so the cut is unconditional (not gated
 // by pE).
 func (o *optimizer) cutFor(r int, mask uint64) ([]int, float64, error) {
+	release := o.borrowScratch()
 	cost, cut := o.bestCut(r, mask)
-	if o.err != nil {
-		return nil, 0, o.err
-	}
+	release()
 	if cut == nil {
 		return nil, 0, fmt.Errorf("core: no valid EdgeCut exists")
 	}
@@ -85,28 +179,23 @@ func optEdgeCut(ct *compTree, model CostModel) ([]int, float64, error) {
 // optExpectedCost evaluates the full expected TOPDOWN cost of a component
 // under optimal expansion; used by tests and ablations.
 func optExpectedCost(ct *compTree, model CostModel) (float64, error) {
-	o := &optimizer{
-		ct:      ct,
-		model:   model,
-		memo:    make(map[stateKey]stateVal),
-		scratch: newBitset(64 * len(ct.Bits[0])),
-	}
+	o := newOptimizer(ct, model)
+	release := o.borrowScratch()
 	v := o.best(0, ct.descMask[0])
-	return v.cost, o.err
+	release()
+	return v.cost, nil
 }
 
 func (o *optimizer) best(r int, mask uint64) stateVal {
-	key := stateKey{r, mask}
-	if v, ok := o.memo[key]; ok {
+	if v, ok := o.memo[r].get(mask); ok {
 		return v
 	}
 	L := o.ct.distinct(mask, o.scratch)
-	own := make([]int, 0, bits.OnesCount64(mask))
-	for i := 0; i < o.ct.len(); i++ {
-		if mask&(1<<uint(i)) != 0 {
-			own = append(own, o.ct.Own[i])
-		}
+	own := o.ownBuf[:0]
+	for m := mask; m != 0; m &= m - 1 {
+		own = append(own, o.ct.Own[bits.TrailingZeros64(m)])
 	}
+	o.ownBuf = own[:0]
 	pE := o.model.expandProb(own, L, len(own))
 	val := stateVal{cost: float64(L)}
 	if pE > 0 && bits.OnesCount64(mask) > 1 {
@@ -116,7 +205,14 @@ func (o *optimizer) best(r int, mask uint64) stateVal {
 			val.cut = cut
 		}
 	}
-	o.memo[key] = val
+	// Only decision-bearing states earn a memo slot. Terminal states
+	// (SHOWRESULTS, cost = L) are as cheap to recompute as to look up, and
+	// they form the long tail of the state space — the fold visits one per
+	// cut — so skipping them keeps retained memory proportional to the
+	// states CachedHeuristic can actually answer plans from.
+	if val.cut != nil {
+		o.memo[r].put(mask, val)
+	}
 	return val
 }
 
@@ -124,82 +220,69 @@ func (o *optimizer) best(r int, mask uint64) stateVal {
 // EdgeCuts of the state, and the argmin cut. Returns (0, nil) if no cut
 // exists (single-node component).
 func (o *optimizer) bestCut(r int, mask uint64) (float64, []int) {
-	cuts := o.enumerateCuts(r, mask)
-	if o.err != nil || len(cuts) == 0 {
+	s := cutSearch{
+		o:        o,
+		r:        r,
+		mask:     mask,
+		bestCost: math.Inf(1),
+		cur:      make([]int, 0, bits.OnesCount64(mask)),
+	}
+	s.fold(o.ct.preIdx[r]+1, o.ct.preEnd[r], o.model.ExpandCost, 0)
+	if s.best == nil {
 		return 0, nil
 	}
-	bestCost := 0.0
-	var bestCut []int
-	for _, cut := range cuts {
-		var loweredAll uint64
-		cost := o.model.ExpandCost
-		for _, v := range cut {
-			sv := o.ct.descMask[v] & mask
-			loweredAll |= sv
-			cost += 1 + o.ct.exploreProb(sv)*o.best(v, sv).cost
+	return s.bestCost, s.best
+}
+
+// cutSearch is the in-place child-factored fold over one state's cuts.
+type cutSearch struct {
+	o        *optimizer
+	r        int
+	mask     uint64
+	bestCost float64
+	best     []int // incumbent argmin cut (nil until the first leaf)
+	cur      []int // cut nodes chosen on the current branch
+}
+
+// fold decides the node at pre-order position pos: cut its parent edge
+// (skip its subtree) or retain it (descend). sum carries K plus the terms
+// of the cuts chosen so far; lowered the members detached by them.
+func (s *cutSearch) fold(pos, end int, sum float64, lowered uint64) {
+	if s.best != nil && sum >= s.bestCost {
+		return // every remaining term is ≥ 0: this branch cannot win
+	}
+	o := s.o
+	if pos == end {
+		if len(s.cur) == 0 {
+			return // the empty cut is not a valid EdgeCut
 		}
-		upper := mask &^ loweredAll
+		upper := s.mask &^ lowered
 		w := 1.0
 		if o.model.DiscountUpper {
 			w = o.ct.exploreProb(upper)
 		}
-		cost += w * o.best(r, upper).cost
-		if bestCut == nil || cost < bestCost {
-			bestCost = cost
-			bestCut = cut
+		cost := sum + w*o.best(s.r, upper).cost
+		if s.best == nil || cost < s.bestCost {
+			s.bestCost = cost
+			s.best = append(s.best[:0], s.cur...)
 		}
+		return
 	}
-	return bestCost, bestCut
-}
-
-// enumerateCuts lists every valid non-empty EdgeCut of the component
-// (r, mask). A cut is a set of nodes (≠ r) in mask, pairwise non-ancestral,
-// whose parent edges are severed. Valid cuts factor over children: for each
-// child c of a retained node, either cut the edge above c or recurse into
-// c's subtree — the structure the NP-completeness proof's verifier and this
-// enumerator share.
-func (o *optimizer) enumerateCuts(r int, mask uint64) [][]int {
-	all := o.cutsBelow(r, mask)
-	// cutsBelow includes the empty cut; drop it.
-	out := all[:0]
-	for _, c := range all {
-		if len(c) > 0 {
-			out = append(out, c)
-		}
+	ct := o.ct
+	v := ct.pre[pos]
+	if s.mask&(1<<uint(v)) == 0 {
+		// mask is ancestor-closed: v's whole subtree lies outside the state.
+		s.fold(ct.preEnd[v], end, sum, lowered)
+		return
 	}
-	return out
-}
-
-// cutsBelow returns all cut-sets (including the empty one) using edges
-// strictly inside subtree(v) ∩ mask.
-func (o *optimizer) cutsBelow(v int, mask uint64) [][]int {
-	acc := [][]int{nil}
-	for _, c := range o.ct.Children[v] {
-		if mask&(1<<uint(c)) == 0 {
-			continue
-		}
-		// Options for child c: cut the edge above c, or keep it and apply
-		// any cut-set from inside c's subtree.
-		sub := o.cutsBelow(c, mask)
-		options := make([][]int, 0, len(sub)+1)
-		options = append(options, []int{c})
-		options = append(options, sub...)
-		next := make([][]int, 0, len(acc)*len(options))
-		for _, a := range acc {
-			for _, opt := range options {
-				merged := make([]int, 0, len(a)+len(opt))
-				merged = append(merged, a...)
-				merged = append(merged, opt...)
-				next = append(next, merged)
-				if len(next) > maxCutsPerState {
-					if o.err == nil {
-						o.err = fmt.Errorf("core: Opt-EdgeCut cut enumeration exceeded %d cuts", maxCutsPerState)
-					}
-					return [][]int{nil}
-				}
-			}
-		}
-		acc = next
-	}
-	return acc
+	// Cut the edge above v: its subtree detaches as a lower component,
+	// charging one revealed label plus the discounted descent. The term is
+	// parenthesized so it rounds exactly like the historical `cost += 1 + …`
+	// accumulation the differential test compares against.
+	sv := ct.descMask[v] & s.mask
+	s.cur = append(s.cur, v)
+	s.fold(ct.preEnd[v], end, sum+(1+ct.exploreProb(sv)*o.best(v, sv).cost), lowered|sv)
+	s.cur = s.cur[:len(s.cur)-1]
+	// Retain v in the upper remainder; its children become cuttable.
+	s.fold(pos+1, end, sum, lowered)
 }

@@ -49,10 +49,12 @@ func (r *Runner) aggregate(name string, mk func() core.Policy) (cost, expands, r
 			}
 		}
 		launched++
+		// Resolved on the calling goroutine: the serial warm-up above
+		// guarantees a cache hit, and no goroutine mutates the cache.
+		nav, target, _ := r.nav(q)
 		go func() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			nav, target := r.navs[q.Spec.Keyword], r.targets[q.Spec.Keyword]
 			res, simErr := navigate.SimulateToTarget(nav, mk(), target, false)
 			results <- outcome{kw: q.Spec.Keyword, res: res, err: simErr}
 		}()

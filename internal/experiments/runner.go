@@ -13,11 +13,12 @@ import (
 )
 
 // Runner generates (once) the workload and lazily caches the per-query
-// navigation simulations each experiment draws on.
+// navigation simulations each experiment draws on. Navigation trees live in
+// the same LRU cache type the server uses, keyed by normalized keyword.
 type Runner struct {
 	W *workload.Workload
 
-	navs    map[string]*navtree.Tree
+	navs    *navtree.Cache
 	targets map[string]navtree.NodeID
 	sims    map[string]map[string]navigate.SimResult // policy → keyword → result
 }
@@ -35,7 +36,7 @@ func NewRunner(cfg workload.Config) (*Runner, error) {
 func NewRunnerFor(w *workload.Workload) *Runner {
 	return &Runner{
 		W:       w,
-		navs:    make(map[string]*navtree.Tree),
+		navs:    navtree.NewCache(256),
 		targets: make(map[string]navtree.NodeID),
 		sims:    make(map[string]map[string]navigate.SimResult),
 	}
@@ -43,15 +44,15 @@ func NewRunnerFor(w *workload.Workload) *Runner {
 
 // nav returns the (cached) navigation tree and target node for a query.
 func (r *Runner) nav(q *workload.Query) (*navtree.Tree, navtree.NodeID, error) {
-	kw := q.Spec.Keyword
-	if t, ok := r.navs[kw]; ok {
+	kw := navtree.NormalizeQuery(q.Spec.Keyword)
+	if t, ok := r.navs.Get(kw); ok {
 		return t, r.targets[kw], nil
 	}
 	t, target, err := r.W.NavTree(q)
 	if err != nil {
 		return nil, 0, err
 	}
-	r.navs[kw] = t
+	r.navs.Add(kw, t)
 	r.targets[kw] = target
 	return t, target, nil
 }

@@ -1,0 +1,102 @@
+package navtree
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// NormalizeQuery canonicalizes a keyword query for cache keying: whitespace
+// collapses to single spaces and every term is lowercased, except the
+// boolean operators AND / OR / NOT, which the query language matches
+// case-sensitively. Index term tokenization lowercases terms itself, so two
+// queries with equal normal forms produce identical search results — the
+// property the navigation-tree cache relies on.
+func NormalizeQuery(q string) string {
+	fields := strings.Fields(q)
+	for i, f := range fields {
+		switch f {
+		case "AND", "OR", "NOT":
+		default:
+			fields[i] = strings.ToLower(f)
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// Cache is a concurrency-safe LRU cache of built navigation trees, keyed by
+// normalized query. Trees are immutable, so one cached tree can safely back
+// any number of concurrent sessions; only per-session state (the active
+// tree) must be rebuilt per user.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used; element values are *cacheEntry
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	tree *Tree
+}
+
+// NewCache returns an LRU cache holding at most capacity trees (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached tree for key, marking it most recently used.
+func (c *Cache) Get(key string) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).tree, true
+}
+
+// Add stores the tree under key, evicting the least recently used entry if
+// the cache is full. Re-adding an existing key refreshes its tree and
+// recency.
+func (c *Cache) Add(key string, t *Tree) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).tree = t
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, tree: t})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached trees.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

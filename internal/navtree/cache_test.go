@@ -1,0 +1,109 @@
+package navtree
+
+import "testing"
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"Prothymosin", "prothymosin"},
+		{"  cancer   cell  ", "cancer cell"},
+		{"Apoptosis AND Growth", "apoptosis AND growth"},
+		{"apoptosis and growth", "apoptosis and growth"}, // lowercase "and" is a term
+		{"(P53 OR MDM2) NOT Mouse", "(p53 OR mdm2) NOT mouse"},
+		{"\tTNF\n alpha", "tnf alpha"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuery(c.in); got != c.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Normalization is idempotent.
+	for _, c := range cases {
+		if got := NormalizeQuery(c.want); got != c.want {
+			t.Errorf("NormalizeQuery not idempotent on %q: got %q", c.want, got)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	f := newFixture(t)
+	trees := make([]*Tree, 4)
+	keys := []string{"a", "b", "c", "d"}
+	for i := range trees {
+		trees[i] = f.build(t, 1)
+	}
+	c := NewCache(2)
+	c.Add(keys[0], trees[0])
+	c.Add(keys[1], trees[1])
+
+	// Touch "a" so "b" becomes least recently used.
+	if got, ok := c.Get(keys[0]); !ok || got != trees[0] {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	c.Add(keys[2], trees[2]) // evicts "b"
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, ok := c.Get(keys[2]); !ok || got != trees[2] {
+		t.Fatal("c missing after insert")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Re-adding an existing key refreshes the tree without growing.
+	c.Add(keys[2], trees[3])
+	if got, _ := c.Get(keys[2]); got != trees[3] {
+		t.Fatal("Add on existing key did not replace the tree")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after re-add = %d, want 2", c.Len())
+	}
+
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (3, 1)", hits, misses)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0) // clamps to 1
+	f := newFixture(t)
+	c.Add("x", f.build(t, 1))
+	c.Add("y", f.build(t, 2))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("x should have been evicted by capacity-1 cache")
+	}
+}
+
+// TestResultIndexesMatchResults checks the precomputed per-node result-index
+// slices agree with mapping Results through ResultIndex — the invariant
+// NewActiveTree's bitset construction relies on.
+func TestResultIndexesMatchResults(t *testing.T) {
+	f := newFixture(t)
+	nt := f.build(t, 1, 2, 3, 4)
+	for id := NodeID(0); int(id) < nt.Len(); id++ {
+		results := nt.Results(id)
+		idxs := nt.ResultIndexes(id)
+		if len(results) != len(idxs) {
+			t.Fatalf("node %d: %d results but %d indexes", id, len(results), len(idxs))
+		}
+		for j, cit := range results {
+			want, ok := nt.ResultIndex(cit)
+			if !ok {
+				t.Fatalf("node %d: citation %d missing from ResultIndex", id, cit)
+			}
+			if int(idxs[j]) != want {
+				t.Fatalf("node %d result %d: index %d, want %d", id, j, idxs[j], want)
+			}
+		}
+	}
+	if nt.ResultIndexes(nt.Root()) != nil {
+		t.Fatal("root should have no attached result indexes")
+	}
+}

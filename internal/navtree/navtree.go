@@ -33,6 +33,7 @@ type Tree struct {
 	byConcept map[hierarchy.ConceptID]NodeID
 	distinct  int // distinct citations across the whole tree
 	resultIdx map[corpus.CitationID]int
+	nodeIdxs  [][]int32 // per node: Results mapped through resultIdx
 }
 
 // Build constructs the navigation tree for the given query result over
@@ -45,8 +46,11 @@ type Tree struct {
 func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 	h := corp.Tree()
 
-	// Attach results to concepts, deduplicating citation IDs.
+	// Attach results to concepts, deduplicating citation IDs. attachedIdx
+	// mirrors attached with the dense result indexes so consumers building
+	// bitsets (core.NewActiveTree) need no map lookups afterwards.
 	attached := make(map[hierarchy.ConceptID][]corpus.CitationID)
+	attachedIdx := make(map[hierarchy.ConceptID][]int32)
 	seen := make(map[corpus.CitationID]struct{}, len(results))
 	resultIdx := make(map[corpus.CitationID]int, len(results))
 	for _, id := range results {
@@ -58,9 +62,11 @@ func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 			continue
 		}
 		seen[id] = struct{}{}
-		resultIdx[id] = len(resultIdx)
+		idx := len(resultIdx)
+		resultIdx[id] = idx
 		for _, c := range concepts {
 			attached[c] = append(attached[c], id)
+			attachedIdx[c] = append(attachedIdx[c], int32(idx))
 		}
 	}
 
@@ -71,6 +77,7 @@ func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 		resultIdx: resultIdx,
 	}
 	t.nodes = append(t.nodes, Node{Concept: h.Root(), Parent: -1})
+	t.nodeIdxs = append(t.nodeIdxs, nil)
 	t.byConcept[h.Root()] = 0
 
 	// Concept IDs ascend from parents to children, so a single ordered scan
@@ -91,6 +98,7 @@ func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 			Results: attached[c],
 			Depth:   t.nodes[parentNode].Depth + 1,
 		})
+		t.nodeIdxs = append(t.nodeIdxs, attachedIdx[c])
 		t.nodes[parentNode].Children = append(t.nodes[parentNode].Children, id)
 		t.byConcept[c] = id
 	}
@@ -155,6 +163,11 @@ func (t *Tree) ResultIndex(id corpus.CitationID) (int, bool) {
 	i, ok := t.resultIdx[id]
 	return i, ok
 }
+
+// ResultIndexes returns Results(id) mapped through ResultIndex, in the
+// same order — the dense citation indexes a bitset builder needs, with no
+// per-citation map lookups. The slice must not be modified.
+func (t *Tree) ResultIndexes(id NodeID) []int32 { return t.nodeIdxs[id] }
 
 // NodeByConcept resolves a concept to its navigation-tree node.
 func (t *Tree) NodeByConcept(c hierarchy.ConceptID) (NodeID, bool) {

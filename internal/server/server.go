@@ -24,9 +24,10 @@ import (
 
 // Config tunes the server.
 type Config struct {
-	MaxSessions int           // evict oldest beyond this many (default 256)
-	SessionTTL  time.Duration // evict sessions idle longer than this (default 30m)
-	PolicyK     int           // Heuristic-ReducedOpt budget (default 10)
+	MaxSessions  int           // evict oldest beyond this many (default 256)
+	SessionTTL   time.Duration // evict sessions idle longer than this (default 30m)
+	PolicyK      int           // Heuristic-ReducedOpt budget (default 10)
+	NavCacheSize int           // navigation trees cached across queries (default 128; negative disables)
 }
 
 func (c *Config) fill() {
@@ -39,20 +40,28 @@ func (c *Config) fill() {
 	if c.PolicyK <= 0 {
 		c.PolicyK = 10
 	}
+	if c.NavCacheSize == 0 {
+		c.NavCacheSize = 128
+	}
 }
 
 // Server serves the BioNav API over one dataset. Safe for concurrent use.
 type Server struct {
-	ds     *store.Dataset
-	cfg    Config
-	scorer *rank.Scorer
+	ds       *store.Dataset
+	cfg      Config
+	scorer   *rank.Scorer
+	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   uint64
 }
 
+// session is one user's live navigation. The embedded navigate.Session is
+// stateful and not concurrency-safe, so every handler touching nav — or
+// rendering state derived from it — holds mu.
 type session struct {
+	mu       sync.Mutex
 	nav      *navigate.Session
 	keywords string
 	lastUsed time.Time
@@ -61,12 +70,38 @@ type session struct {
 // New builds a server over the dataset.
 func New(ds *store.Dataset, cfg Config) *Server {
 	cfg.fill()
-	return &Server{
+	s := &Server{
 		ds:       ds,
 		cfg:      cfg,
 		scorer:   rank.NewScorer(ds.Corpus, ds.Index),
 		sessions: make(map[string]*session),
 	}
+	if cfg.NavCacheSize > 0 {
+		s.navCache = navtree.NewCache(cfg.NavCacheSize)
+	}
+	return s
+}
+
+// navTreeFor resolves a keyword query to its navigation tree, serving
+// repeat queries from the LRU cache. The cache key is the normalized query;
+// the search itself also runs on the normal form, so equal keys are
+// guaranteed equal results and the cached tree is exact.
+func (s *Server) navTreeFor(keywords string) (*navtree.Tree, error) {
+	key := navtree.NormalizeQuery(keywords)
+	if s.navCache != nil {
+		if nav, ok := s.navCache.Get(key); ok {
+			return nav, nil
+		}
+	}
+	results := s.ds.Index.SearchQuery(key)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no citations match %q", keywords)
+	}
+	nav := navtree.Build(s.ds.Corpus, results)
+	if s.navCache != nil {
+		s.navCache.Add(key, nav)
+	}
+	return nav, nil
 }
 
 // Handler returns the HTTP handler: the HTML UI at "/", the JSON API under
@@ -136,12 +171,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	results := s.ds.Index.SearchQuery(req.Keywords)
-	if len(results) == 0 {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no citations match %q", req.Keywords))
+	nav, err := s.navTreeFor(req.Keywords)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	nav := navtree.Build(s.ds.Corpus, results)
 	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
 	sess := navigate.NewSession(nav, policy)
 
@@ -160,11 +194,15 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
+	sess.mu.Lock()
 	if _, err := sess.nav.Expand(req.Node); err != nil {
+		sess.mu.Unlock()
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.writeState(w, req.Session)
+	resp := s.stateLocked(req.Session, sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
@@ -178,11 +216,15 @@ func (s *Server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
+	sess.mu.Lock()
 	if err := sess.nav.Backtrack(); err != nil {
+		sess.mu.Unlock()
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.writeState(w, req.Session)
+	resp := s.stateLocked(req.Session, sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -196,7 +238,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad node: %w", err))
 		return
 	}
+	sess.mu.Lock()
 	ids, err := sess.nav.ShowResults(node)
+	sess.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -224,7 +268,10 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="bionav-session.json"`)
-	if err := sess.nav.Export(w); err != nil {
+	sess.mu.Lock()
+	err = sess.nav.Export(w)
+	sess.mu.Unlock()
+	if err != nil {
 		// Headers already sent; nothing more we can do but log-worthy drop.
 		return
 	}
@@ -244,12 +291,11 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	results := s.ds.Index.SearchQuery(req.Keywords)
-	if len(results) == 0 {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no citations match %q", req.Keywords))
+	nav, err := s.navTreeFor(req.Keywords)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	nav := navtree.Build(s.ds.Corpus, results)
 	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
 	restored, err := navigate.Replay(nav, policy, bytes.NewReader(req.Session))
 	if err != nil {
@@ -264,12 +310,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	active := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"concepts":  s.ds.Tree.Len(),
 		"citations": s.ds.Corpus.Len(),
 		"terms":     s.ds.Index.Terms(),
 		"sessions":  active,
-	})
+	}
+	if s.navCache != nil {
+		hits, misses := s.navCache.Stats()
+		stats["navCacheTrees"] = s.navCache.Len()
+		stats["navCacheHits"] = hits
+		stats["navCacheMisses"] = misses
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // --- session bookkeeping ---
@@ -330,10 +383,19 @@ func (s *Server) writeState(w http.ResponseWriter, id string) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
+	sess.mu.Lock()
+	resp := s.stateLocked(id, sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stateLocked renders the session's current navigation state. Caller holds
+// sess.mu.
+func (s *Server) stateLocked(id string, sess *session) stateResponse {
 	at := sess.nav.Active()
 	vis := sess.nav.Visualize()
 	cost := sess.nav.Cost()
-	resp := stateResponse{
+	return stateResponse{
 		Session:  id,
 		Keywords: sess.keywords,
 		Results:  at.Nav().DistinctTotal(),
@@ -345,7 +407,6 @@ func (s *Server) writeState(w http.ResponseWriter, id string) {
 		},
 		Tree: s.buildView(at.Nav(), vis, at.Nav().Root()),
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) buildView(nav *navtree.Tree, vis map[navtree.NodeID]*core.VisibleNode, id navtree.NodeID) nodeView {

@@ -353,3 +353,163 @@ func TestExportUnknownSession(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
+
+func TestNavTreeCacheSharedAcrossQueries(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	term := queryTerm(srv)
+
+	// Two queries that normalize to the same key: different case and spacing.
+	resp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": term})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	variant := "  " + strings.ToUpper(term) + "  "
+	resp, raw = postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": variant})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query status %d: %s", resp.StatusCode, raw["error"])
+	}
+
+	sResp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sResp.Body.Close()
+	var stats struct {
+		Trees  int    `json:"navCacheTrees"`
+		Hits   uint64 `json:"navCacheHits"`
+		Misses uint64 `json:"navCacheMisses"`
+	}
+	if err := json.NewDecoder(sResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trees != 1 {
+		t.Fatalf("navCacheTrees = %d, want 1", stats.Trees)
+	}
+	if stats.Hits < 1 || stats.Misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d, want hits>=1 misses=1", stats.Hits, stats.Misses)
+	}
+}
+
+func TestNavTreeCacheDisabled(t *testing.T) {
+	srv, ts := testServer(t, Config{NavCacheSize: -1})
+	term := queryTerm(srv)
+	resp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": term})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	sResp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sResp.Body.Close()
+	var stats map[string]json.RawMessage
+	if err := json.NewDecoder(sResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["navCacheTrees"]; ok {
+		t.Fatal("navCacheTrees reported with cache disabled")
+	}
+}
+
+// TestSameSessionConcurrency hammers ONE session from several goroutines —
+// expand, backtrack, results, export — and must pass under -race. Logical
+// conflicts (422: nothing to backtrack, node not expandable) are expected;
+// data races and 5xx are not.
+func TestSameSessionConcurrency(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	term := queryTerm(srv)
+	resp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": term})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Session string `json:"session"`
+	}
+	reencode(t, raw, &state)
+
+	post := func(path string) (int, error) {
+		b, _ := json.Marshal(map[string]any{"session": state.Session, "node": 0})
+		r, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		return r.StatusCode, nil
+	}
+	get := func(path string) (int, error) {
+		r, err := http.Get(ts.URL + path + "?session=" + state.Session + "&node=0")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		return r.StatusCode, nil
+	}
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			done <- func() error {
+				for iter := 0; iter < 5; iter++ {
+					var code int
+					var err error
+					switch (i + iter) % 4 {
+					case 0:
+						code, err = post("/api/expand")
+					case 1:
+						code, err = post("/api/backtrack")
+					case 2:
+						code, err = get("/api/results")
+					default:
+						code, err = get("/api/export")
+					}
+					if err != nil {
+						return err
+					}
+					if code != http.StatusOK && code != http.StatusUnprocessableEntity {
+						return fmt.Errorf("status %d", code)
+					}
+				}
+				return nil
+			}()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryNavCache measures /api/query with a warm navigation-tree
+// cache (hit: the tree build is amortized away) against the cache disabled
+// (miss: every query rebuilds the tree from the inverted index).
+func BenchmarkQueryNavCache(b *testing.B) {
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 71, Nodes: 1000, TopLevel: 12, MaxDepth: 8})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 72, Citations: 300, MeanConcepts: 30, FirstID: 500, YearLo: 2000, YearHi: 2008,
+	})
+	ds := &store.Dataset{Tree: tree, Corpus: corp, Index: index.Build(corp)}
+
+	run := func(b *testing.B, cfg Config) {
+		srv := New(ds, cfg)
+		h := srv.Handler()
+		term := queryTerm(srv)
+		body, _ := json.Marshal(map[string]string{"keywords": term})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/api/query", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("hit", func(b *testing.B) { run(b, Config{}) })
+	b.Run("miss", func(b *testing.B) { run(b, Config{NavCacheSize: -1}) })
+}
