@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt bench bench-json experiments demo clean
+.PHONY: all check build test race vet fmt bench bench-json faults-test experiments demo clean
 
 all: fmt vet test build
 
@@ -27,6 +27,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Fault-injection suite: every TestFault* arms internal/faults failpoints
+# to prove the degradation paths fire (see docs/RESILIENCE.md).
+faults-test:
+	$(GO) test -race -run '^TestFault' ./...
 
 # Machine-readable core benchmark run, for before/after comparisons.
 bench-json:

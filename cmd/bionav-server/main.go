@@ -66,6 +66,11 @@ func build(args []string, stdout io.Writer) (http.Handler, string, error) {
 		policyK = fs.Int("k", 10, "Heuristic-ReducedOpt reduced-tree budget")
 		maxSess = fs.Int("max-sessions", 256, "maximum concurrent navigation sessions")
 		sessTTL = fs.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+
+		expBudget = fs.Duration("expand-budget", 2*time.Second, "EXPAND optimization budget before degrading to the static cut (negative disables)")
+		inFlight  = fs.Int("max-inflight", 64, "concurrent API requests before shedding with 503 (negative disables)")
+		queueWait = fs.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit request waits for a slot")
+		apiTO     = fs.Duration("api-timeout", 30*time.Second, "whole-request API deadline (negative disables)")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -90,9 +95,13 @@ func build(args []string, stdout io.Writer) (http.Handler, string, error) {
 	}
 
 	srv := server.New(ds, server.Config{
-		MaxSessions: *maxSess,
-		SessionTTL:  *sessTTL,
-		PolicyK:     *policyK,
+		MaxSessions:  *maxSess,
+		SessionTTL:   *sessTTL,
+		PolicyK:      *policyK,
+		ExpandBudget: *expBudget,
+		MaxInFlight:  *inFlight,
+		QueueWait:    *queueWait,
+		APITimeout:   *apiTO,
 	})
 	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s\n", ds.Tree.Len(), ds.Corpus.Len(), *addr)
 	return srv.Handler(), *addr, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -55,7 +56,7 @@ func NewCachedHeuristic() *CachedHeuristic {
 func (h *CachedHeuristic) Name() string { return "Heuristic-ReducedOpt (cached)" }
 
 // ChooseCut implements Policy.
-func (h *CachedHeuristic) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+func (h *CachedHeuristic) ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	if h.plans == nil {
 		h.plans = make(map[navtree.NodeID]*plan)
 	}
@@ -64,15 +65,17 @@ func (h *CachedHeuristic) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge
 		// for the exact active tree it was computed on, and only while the
 		// component still has the size the plan's cut produced.
 		if p.at == at && p.navSize == at.ComponentSize(root) {
-			return h.cutFromPlan(p, root)
+			return h.cutFromPlan(ctx, p, root)
 		}
 		delete(h.plans, root) // stale: the tree changed under us
 	}
-	return h.freshCut(at, root)
+	return h.freshCut(ctx, at, root)
 }
 
-// freshCut mirrors HeuristicReducedOpt and records the plan.
-func (h *CachedHeuristic) freshCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+// freshCut mirrors HeuristicReducedOpt and records the plan. A ctx abort
+// propagates before any plan is registered, so a degraded EXPAND leaves
+// the cache exactly as it was.
+func (h *CachedHeuristic) freshCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	h.Recomputes++
 	inner := &HeuristicReducedOpt{K: h.K, Model: h.Model}
 	ct, _, err := inner.reduce(at, root)
@@ -80,7 +83,7 @@ func (h *CachedHeuristic) freshCut(at *ActiveTree, root navtree.NodeID) ([]Edge,
 		return nil, err
 	}
 	opt := newOptimizer(ct, h.Model)
-	cutNodes, _, err := opt.cutFor(0, ct.descMask[0])
+	cutNodes, _, err := opt.cutFor(ctx, 0, ct.descMask[0])
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +94,16 @@ func (h *CachedHeuristic) freshCut(at *ActiveTree, root navtree.NodeID) ([]Edge,
 	return mapCut(ct, cutNodes), nil
 }
 
-// cutFromPlan answers an EXPAND from the retained DP memo.
-func (h *CachedHeuristic) cutFromPlan(p *plan, root navtree.NodeID) ([]Edge, error) {
-	cutNodes, _, err := p.opt.cutFor(p.idx, p.mask)
+// cutFromPlan answers an EXPAND from the retained DP memo. On a ctx
+// abort the plan stays registered: the answer was not consumed, and a
+// later mutation of the component (e.g. a degraded static cut) is caught
+// by the navSize staleness check.
+func (h *CachedHeuristic) cutFromPlan(ctx context.Context, p *plan, root navtree.NodeID) ([]Edge, error) {
+	cutNodes, _, err := p.opt.cutFor(ctx, p.idx, p.mask)
 	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, err // aborted, not exhausted: surface the ctx error
+		}
 		// Single-supernode component: the reduced tree cannot split it
 		// further even though real navigation nodes remain. Fall back is
 		// impossible here without the active tree, so report clearly.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"bionav/internal/navtree"
@@ -12,11 +13,11 @@ func TestCachedHeuristicFirstCutMatchesPlain(t *testing.T) {
 	plain := NewHeuristicReducedOpt()
 	cached := NewCachedHeuristic()
 
-	c1, err := plain.ChooseCut(at1, at1.Nav().Root())
+	c1, err := plain.ChooseCut(context.Background(), at1, at1.Nav().Root())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := cached.ChooseCut(at2, at2.Nav().Root())
+	c2, err := cached.ChooseCut(context.Background(), at2, at2.Nav().Root())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestCachedHeuristicReusesPlans(t *testing.T) {
 		}
 		wasCached := cached.plans[target] != nil
 		before := cached.Recomputes
-		cut, err := cached.ChooseCut(at, target)
+		cut, err := cached.ChooseCut(context.Background(), at, target)
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
@@ -96,7 +97,7 @@ func TestCachedHeuristicNavigationTerminates(t *testing.T) {
 			t.Logf("fully expanded after %d steps with %d recomputes", step, cached.Recomputes)
 			return
 		}
-		cut, err := cached.ChooseCut(at, target)
+		cut, err := cached.ChooseCut(context.Background(), at, target)
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
@@ -111,7 +112,7 @@ func TestCachedHeuristicDetectsStaleness(t *testing.T) {
 	at := bigActiveTree(t, 74, 200)
 	cached := NewCachedHeuristic()
 	root := at.Nav().Root()
-	cut, err := cached.ChooseCut(at, root)
+	cut, err := cached.ChooseCut(context.Background(), at, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCachedHeuristicDetectsStaleness(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := cached.Recomputes
-	cut2, err := cached.ChooseCut(at, root)
+	cut2, err := cached.ChooseCut(context.Background(), at, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCachedHeuristicCheaperPerExpand(t *testing.T) {
 		if target == -1 {
 			break
 		}
-		cut, err := cached.ChooseCut(at, target)
+		cut, err := cached.ChooseCut(context.Background(), at, target)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestCachedHeuristicIsolatesTrees(t *testing.T) {
 	at1 := bigActiveTree(t, 76, 150)
 	at2 := bigActiveTree(t, 76, 150) // identical shape → identical IDs
 	cached := NewCachedHeuristic()
-	cut1, err := cached.ChooseCut(at1, at1.Nav().Root())
+	cut1, err := cached.ChooseCut(context.Background(), at1, at1.Nav().Root())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestCachedHeuristicIsolatesTrees(t *testing.T) {
 	}
 	// A cut for the fresh at2 root must recompute, not reuse at1's plans.
 	before := cached.Recomputes
-	cut2, err := cached.ChooseCut(at2, at2.Nav().Root())
+	cut2, err := cached.ChooseCut(context.Background(), at2, at2.Nav().Root())
 	if err != nil {
 		t.Fatal(err)
 	}

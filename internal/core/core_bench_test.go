@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -77,7 +78,7 @@ func BenchmarkOptEdgeCut(b *testing.B) {
 		b.Run(fmt.Sprintf("w%dd3/dp", width), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := optEdgeCut(ct, model); err != nil {
+				if _, _, err := optEdgeCut(context.Background(), ct, model); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -118,7 +119,7 @@ func BenchmarkHeuristicChooseCut(b *testing.B) {
 	pol := NewHeuristicReducedOpt()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pol.ChooseCut(at, at.Nav().Root()); err != nil {
+		if _, err := pol.ChooseCut(context.Background(), at, at.Nav().Root()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkHeuristicChooseCut(b *testing.B) {
 func BenchmarkExpandAndBacktrack(b *testing.B) {
 	at := benchTree(b)
 	pol := NewHeuristicReducedOpt()
-	cut, err := pol.ChooseCut(at, at.Nav().Root())
+	cut, err := pol.ChooseCut(context.Background(), at, at.Nav().Root())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func BenchmarkVisualize(b *testing.B) {
 		if at.ComponentSize(root) < 2 {
 			break
 		}
-		cut, err := pol.ChooseCut(at, root)
+		cut, err := pol.ChooseCut(context.Background(), at, root)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
+
+	"bionav/internal/faults"
 )
 
 // This file implements Opt-EdgeCut (§VI-A): the exponential dynamic program
@@ -126,7 +129,20 @@ type optimizer struct {
 	// best assumes it is set.
 	scratch bitset
 	ownBuf  []int // expandProb input; filled and consumed before recursing
+
+	// Cancellation state, reset by each entry point. The DP is the only
+	// unbounded computation on the serving path, so the fold checks ctx
+	// (and the faults.SiteDP failpoint) once on entry and then every
+	// dpStride steps; abort sets err and the recursion unwinds without
+	// touching the memo, leaving completed entries valid for reuse.
+	ctx   context.Context
+	steps uint64
+	err   error
 }
+
+// dpStride is the fold-step interval between cancellation checkpoints; a
+// power of two so the check compiles to a mask test.
+const dpStride = 256
 
 // newOptimizer prepares a reusable DP instance over ct; its memo persists
 // across calls, which the CachedHeuristic policy exploits for subsequent
@@ -136,6 +152,7 @@ func newOptimizer(ct *compTree, model CostModel) *optimizer {
 		ct:    ct,
 		model: model,
 		memo:  make([]memoTable, ct.len()),
+		ctx:   context.Background(), // entry points override via begin
 	}
 }
 
@@ -153,13 +170,42 @@ func (o *optimizer) borrowScratch() func() {
 	}
 }
 
+// begin resets the per-call cancellation state; every entry point calls
+// it, then checkpoint once so even a trivial DP observes an armed
+// failpoint or an already-expired deadline.
+func (o *optimizer) begin(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o.ctx = ctx
+	o.err = nil
+	return o.checkpoint()
+}
+
+// checkpoint evaluates the DP failpoint and the context. It reports the
+// first error; callers record it in o.err to unwind the fold.
+func (o *optimizer) checkpoint() error {
+	if err := faults.InjectCtx(o.ctx, faults.SiteDP); err != nil {
+		return err
+	}
+	return o.ctx.Err()
+}
+
 // cutFor returns the argmin cut for the component state (r, mask). The
 // user has already clicked EXPAND, so the cut is unconditional (not gated
-// by pE).
-func (o *optimizer) cutFor(r int, mask uint64) ([]int, float64, error) {
+// by pE). A ctx cancellation or expired deadline aborts the search
+// mid-fold and surfaces the ctx error; the memo keeps only fully
+// computed states, so the optimizer remains valid for later calls.
+func (o *optimizer) cutFor(ctx context.Context, r int, mask uint64) ([]int, float64, error) {
+	if err := o.begin(ctx); err != nil {
+		return nil, 0, err
+	}
 	release := o.borrowScratch()
 	cost, cut := o.bestCut(r, mask)
 	release()
+	if o.err != nil {
+		return nil, 0, o.err
+	}
 	if cut == nil {
 		return nil, 0, fmt.Errorf("core: no valid EdgeCut exists")
 	}
@@ -169,24 +215,33 @@ func (o *optimizer) cutFor(r int, mask uint64) ([]int, float64, error) {
 // optEdgeCut returns the best first EdgeCut for the whole compTree (as the
 // list of compTree nodes whose parent edge is cut) together with the
 // expected cost of the cut-rooted navigation. The tree must have ≥ 2 nodes.
-func optEdgeCut(ct *compTree, model CostModel) ([]int, float64, error) {
+func optEdgeCut(ctx context.Context, ct *compTree, model CostModel) ([]int, float64, error) {
 	if ct.len() < 2 {
 		return nil, 0, fmt.Errorf("core: Opt-EdgeCut needs at least 2 nodes, got %d", ct.len())
 	}
-	return newOptimizer(ct, model).cutFor(0, ct.descMask[0])
+	return newOptimizer(ct, model).cutFor(ctx, 0, ct.descMask[0])
 }
 
 // optExpectedCost evaluates the full expected TOPDOWN cost of a component
 // under optimal expansion; used by tests and ablations.
 func optExpectedCost(ct *compTree, model CostModel) (float64, error) {
 	o := newOptimizer(ct, model)
+	if err := o.begin(context.Background()); err != nil {
+		return 0, err
+	}
 	release := o.borrowScratch()
 	v := o.best(0, ct.descMask[0])
 	release()
+	if o.err != nil {
+		return 0, o.err
+	}
 	return v.cost, nil
 }
 
 func (o *optimizer) best(r int, mask uint64) stateVal {
+	if o.err != nil {
+		return stateVal{}
+	}
 	if v, ok := o.memo[r].get(mask); ok {
 		return v
 	}
@@ -200,6 +255,11 @@ func (o *optimizer) best(r int, mask uint64) stateVal {
 	val := stateVal{cost: float64(L)}
 	if pE > 0 && bits.OnesCount64(mask) > 1 {
 		cutCost, cut := o.bestCut(r, mask)
+		if o.err != nil {
+			// Aborted mid-search: the incumbent cut may cover only part of
+			// the state space. Discard it and keep the memo untouched.
+			return stateVal{}
+		}
 		if cut != nil {
 			val.cost = (1-pE)*float64(L) + pE*cutCost
 			val.cut = cut
@@ -248,10 +308,19 @@ type cutSearch struct {
 // (skip its subtree) or retain it (descend). sum carries K plus the terms
 // of the cuts chosen so far; lowered the members detached by them.
 func (s *cutSearch) fold(pos, end int, sum float64, lowered uint64) {
+	o := s.o
+	if o.err != nil {
+		return // aborted: unwind without extending the incumbent
+	}
+	if o.steps++; o.steps%dpStride == 0 {
+		if err := o.checkpoint(); err != nil {
+			o.err = err
+			return
+		}
+	}
 	if s.best != nil && sum >= s.bestCost {
 		return // every remaining term is ≥ 0: this branch cannot win
 	}
-	o := s.o
 	if pos == end {
 		if len(s.cur) == 0 {
 			return // the empty cut is not a valid EdgeCut

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -200,7 +201,7 @@ func TestChildFactoredMatchesEnumerator(t *testing.T) {
 				trial, n, gotCost, wantCost, gotCost-wantCost)
 		}
 
-		cut, cutCost, err := optEdgeCut(ct, model)
+		cut, cutCost, err := optEdgeCut(context.Background(), ct, model)
 		if err != nil {
 			t.Fatalf("trial %d: optEdgeCut: %v", trial, err)
 		}
@@ -256,7 +257,7 @@ func TestEnumeratorOverflowShortCircuits(t *testing.T) {
 		t.Fatalf("enumerator kept building products after overflow: %d steps > %d", eo.steps, limit)
 	}
 
-	cut, _, err := optEdgeCut(ct, model)
+	cut, _, err := optEdgeCut(context.Background(), ct, model)
 	if err != nil {
 		t.Fatalf("production fold failed on the capped tree: %v", err)
 	}

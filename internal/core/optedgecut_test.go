@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"testing"
@@ -194,7 +195,7 @@ func TestOptMatchesBruteForceReference(t *testing.T) {
 			t.Fatalf("trial %d (n=%d): optExpectedCost = %v, reference = %v", trial, n, got, want)
 		}
 
-		cut, cutCost, err := optEdgeCut(ct, model)
+		cut, cutCost, err := optEdgeCut(context.Background(), ct, model)
 		if err != nil {
 			t.Fatalf("trial %d: optEdgeCut: %v", trial, err)
 		}
@@ -232,7 +233,7 @@ func TestOptPrefersInformativeSplit(t *testing.T) {
 	scores := []float64{0, 0.01, 0.5} // leaf much more selective
 	ct := makeCompTree(t, parents, results, scores, 4)
 	model := CostModel{ExpandCost: 1, Thi: 3, Tlo: 1, UseEntropy: true}
-	cut, _, err := optEdgeCut(ct, model)
+	cut, _, err := optEdgeCut(context.Background(), ct, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,14 +244,14 @@ func TestOptPrefersInformativeSplit(t *testing.T) {
 
 func TestOptSingleNodeRejected(t *testing.T) {
 	ct := makeCompTree(t, []int{-1}, [][]int{{0}}, []float64{1}, 2)
-	if _, _, err := optEdgeCut(ct, DefaultCostModel()); err == nil {
+	if _, _, err := optEdgeCut(context.Background(), ct, DefaultCostModel()); err == nil {
 		t.Fatal("optEdgeCut accepted single-node tree")
 	}
 }
 
 func TestOptTwoNodeTree(t *testing.T) {
 	ct := makeCompTree(t, []int{-1, 0}, [][]int{{0}, {1, 2}}, []float64{0.1, 0.2}, 3)
-	cut, cost, err := optEdgeCut(ct, DefaultCostModel())
+	cut, cost, err := optEdgeCut(context.Background(), ct, DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,8 +272,8 @@ func TestOptDeterministic(t *testing.T) {
 	src := rng.New(99)
 	ct := randomCompTree(t, src, 8, 16)
 	model := DefaultCostModel()
-	cut1, cost1, err1 := optEdgeCut(ct, model)
-	cut2, cost2, err2 := optEdgeCut(ct, model)
+	cut1, cost1, err1 := optEdgeCut(context.Background(), ct, model)
+	cut2, cost2, err2 := optEdgeCut(context.Background(), ct, model)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -343,7 +344,7 @@ func BenchmarkOptEdgeCut10(b *testing.B) {
 	model := DefaultCostModel()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := optEdgeCut(cts[i%len(cts)], model); err != nil {
+		if _, _, err := optEdgeCut(context.Background(), cts[i%len(cts)], model); err != nil {
 			b.Fatal(err)
 		}
 	}

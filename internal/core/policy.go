@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,8 +15,12 @@ type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
 	// ChooseCut returns the navigation-tree edges to cut when expanding the
-	// component rooted at root. It fails on singleton components.
-	ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error)
+	// component rooted at root. It fails on singleton components. The
+	// context bounds the computation: policies running Opt-EdgeCut abort
+	// with the ctx error when it is cancelled or its deadline expires, so
+	// callers can cap per-EXPAND optimization time and degrade (see
+	// navigate.Session.ExpandContext).
+	ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error)
 }
 
 // HeuristicReducedOpt is the paper's §VI-B expansion policy: reduce the
@@ -38,12 +43,12 @@ func NewHeuristicReducedOpt() *HeuristicReducedOpt {
 func (h *HeuristicReducedOpt) Name() string { return "Heuristic-ReducedOpt" }
 
 // ChooseCut implements Policy.
-func (h *HeuristicReducedOpt) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+func (h *HeuristicReducedOpt) ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	ct, _, err := h.reduce(at, root)
 	if err != nil {
 		return nil, err
 	}
-	cutNodes, _, err := optEdgeCut(ct, h.Model)
+	cutNodes, _, err := optEdgeCut(ctx, ct, h.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +109,7 @@ type OptEdgeCutPolicy struct {
 func (o *OptEdgeCutPolicy) Name() string { return "Opt-EdgeCut" }
 
 // ChooseCut implements Policy.
-func (o *OptEdgeCutPolicy) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+func (o *OptEdgeCutPolicy) ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	members := at.Members(root)
 	if len(members) < 2 {
 		return nil, fmt.Errorf("core: %s: component %d has no internal edges", o.Name(), root)
@@ -113,7 +118,7 @@ func (o *OptEdgeCutPolicy) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edg
 	if err != nil {
 		return nil, err
 	}
-	cutNodes, _, err := optEdgeCut(ct, o.Model)
+	cutNodes, _, err := optEdgeCut(ctx, ct, o.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +145,7 @@ type StaticAll struct{}
 func (StaticAll) Name() string { return "Static" }
 
 // ChooseCut implements Policy.
-func (StaticAll) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+func (StaticAll) ChooseCut(_ context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	var cut []Edge
 	for _, c := range at.nav.Children(root) {
 		if at.ComponentOf(c) == root {
@@ -165,7 +170,7 @@ type StaticTopK struct {
 func (s StaticTopK) Name() string { return fmt.Sprintf("Static-Top%d", s.K) }
 
 // ChooseCut implements Policy.
-func (s StaticTopK) ChooseCut(at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+func (s StaticTopK) ChooseCut(_ context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	type ranked struct {
 		child navtree.NodeID
 		count int

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestHeuristicCutIsApplicable(t *testing.T) {
 	root := at.Nav().Root()
 	pol := NewHeuristicReducedOpt()
 
-	cut, err := pol.ChooseCut(at, root)
+	cut, err := pol.ChooseCut(context.Background(), at, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestHeuristicRepeatedExpansionTerminates(t *testing.T) {
 			}
 			return // fully expanded
 		}
-		cut, err := pol.ChooseCut(at, target)
+		cut, err := pol.ChooseCut(context.Background(), at, target)
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
@@ -71,11 +72,11 @@ func TestHeuristicEqualsOptOnSmallComponents(t *testing.T) {
 	h := &HeuristicReducedOpt{K: 20, Model: model}
 	o := &OptEdgeCutPolicy{Model: model}
 
-	hCut, err := h.ChooseCut(f.at, root)
+	hCut, err := h.ChooseCut(context.Background(), f.at, root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oCut, err := o.ChooseCut(f.at, root)
+	oCut, err := o.ChooseCut(context.Background(), f.at, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +98,10 @@ func TestHeuristicSingletonRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	pol := NewHeuristicReducedOpt()
-	if _, err := pol.ChooseCut(at, f.nodes["apo"]); err == nil {
+	if _, err := pol.ChooseCut(context.Background(), at, f.nodes["apo"]); err == nil {
 		t.Fatal("ChooseCut on singleton succeeded")
 	}
-	if _, err := (&OptEdgeCutPolicy{Model: DefaultCostModel()}).ChooseCut(at, f.nodes["apo"]); err == nil {
+	if _, err := (&OptEdgeCutPolicy{Model: DefaultCostModel()}).ChooseCut(context.Background(), at, f.nodes["apo"]); err == nil {
 		t.Fatal("Opt ChooseCut on singleton succeeded")
 	}
 }
@@ -108,7 +109,7 @@ func TestHeuristicSingletonRejected(t *testing.T) {
 func TestStaticAllRevealsEveryChild(t *testing.T) {
 	f := newPaperFixture(t)
 	at := f.at
-	cut, err := StaticAll{}.ChooseCut(at, f.nodes["root"])
+	cut, err := StaticAll{}.ChooseCut(context.Background(), at, f.nodes["root"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestStaticTopKRanksByCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	pol := StaticTopK{K: 1}
-	cut, err := pol.ChooseCut(at, f.nodes["bio"])
+	cut, err := pol.ChooseCut(context.Background(), at, f.nodes["bio"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestStaticTopKRanksByCount(t *testing.T) {
 		t.Fatalf("top-1 child = %d, want phys %d", cut[0].Child, f.nodes["phys"])
 	}
 	// K larger than the child count clamps.
-	cut, err = StaticTopK{K: 99}.ChooseCut(at, f.nodes["bio"])
+	cut, err = StaticTopK{K: 99}.ChooseCut(context.Background(), at, f.nodes["bio"])
 	if err != nil || len(cut) != 2 {
 		t.Fatalf("clamped cut = %v, %v", cut, err)
 	}

@@ -10,16 +10,27 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"bionav/internal/corpus"
 	"bionav/internal/hierarchy"
+	"bionav/internal/rng"
+)
+
+// Backoff envelope for 429/5xx retries: full jitter over an exponential
+// ceiling, and a cap on how long a server-sent Retry-After can park us.
+const (
+	baseBackoff   = 50 * time.Millisecond
+	maxBackoff    = 5 * time.Second
+	retryAfterCap = 5 * time.Minute
 )
 
 // Client talks to an eutils endpoint with client-side pacing and 429
 // retry — the discipline the paper's 20-day crawl needed ("the PubMed
 // eutils restrictions on the number of queries that can be executed
-// within a certain period of time").
+// within a certain period of time"). Safe for concurrent use: pacing
+// serializes request slots across goroutines.
 type Client struct {
 	BaseURL string
 	// Pace is the minimum delay between requests (client-side politeness);
@@ -30,7 +41,9 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 
+	mu          sync.Mutex // guards lastRequest and jitter
 	lastRequest time.Time
+	jitter      *rng.Source // lazily seeded; full-jitter backoff draws
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -47,20 +60,84 @@ func (c *Client) maxRetries() int {
 	return 5
 }
 
+// pace reserves this caller's request slot. Slots advance by Pace under
+// the mutex, so concurrent gets serialize at the polite rate instead of
+// racing on lastRequest; the returned duration is how long this caller
+// must sleep before its slot arrives.
+func (c *Client) pace() time.Duration {
+	if c.Pace <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	next := c.lastRequest.Add(c.Pace)
+	if next.Before(now) {
+		next = now
+	}
+	c.lastRequest = next
+	return next.Sub(now)
+}
+
+// backoffDelay returns the wait before retry attempt (0-based): the
+// server's Retry-After verbatim when it sent one, else full jitter over
+// an exponentially growing ceiling — uniform in [0, min(maxBackoff,
+// baseBackoff·2ⁿ)] — which decorrelates a herd of crawlers far better
+// than synchronized doubling.
+func (c *Client) backoffDelay(attempt int, resp *http.Response) time.Duration {
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		return d
+	}
+	ceil := baseBackoff << uint(attempt)
+	if ceil <= 0 || ceil > maxBackoff {
+		ceil = maxBackoff
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jitter == nil {
+		c.jitter = rng.New(uint64(time.Now().UnixNano()))
+	}
+	return time.Duration(c.jitter.Int63() % (int64(ceil) + 1))
+}
+
+// parseRetryAfter parses a Retry-After header value — either
+// delay-seconds or an HTTP-date — into a wait from now, clamped to
+// [0, retryAfterCap] so a confused server cannot park the crawl.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = t.Sub(now)
+	} else {
+		return 0, false
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	return d, true
+}
+
 // get performs one paced, retried GET and returns the body.
 func (c *Client) get(ctx context.Context, path string, params url.Values) ([]byte, error) {
 	u := strings.TrimSuffix(c.BaseURL, "/") + path + "?" + params.Encode()
-	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		if c.Pace > 0 {
-			if wait := c.Pace - time.Since(c.lastRequest); wait > 0 {
-				select {
-				case <-time.After(wait):
-				case <-ctx.Done():
-					return nil, ctx.Err()
-				}
+		if wait := c.pace(); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
-			c.lastRequest = time.Now()
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 		if err != nil {
@@ -83,11 +160,10 @@ func (c *Client) get(ctx context.Context, path string, params url.Values) ([]byt
 				return nil, fmt.Errorf("eutils: %s after %d retries (status %d)", path, attempt, resp.StatusCode)
 			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(c.backoffDelay(attempt, resp)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
-			backoff *= 2
 		default:
 			return nil, fmt.Errorf("eutils: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
 		}

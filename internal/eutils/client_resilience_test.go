@@ -1,0 +1,159 @@
+package eutils
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientConcurrentGets hammers one paced client from many
+// goroutines; under -race this proves lastRequest (and the jitter rng)
+// are properly synchronized.
+func TestClientConcurrentGets(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Pace: time.Millisecond}
+	var wg sync.WaitGroup
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.get(context.Background(), "/x", url.Values{}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if served.Load() != n {
+		t.Fatalf("served %d, want %d", served.Load(), n)
+	}
+}
+
+// TestClientPaceSerializes: concurrent gets must be spaced at least
+// Pace apart — the slot-reservation discipline, not just data-race
+// freedom.
+func TestClientPaceSerializes(t *testing.T) {
+	var mu sync.Mutex
+	var stamps []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		stamps = append(stamps, time.Now())
+		mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	const pace = 20 * time.Millisecond
+	c := &Client{BaseURL: ts.URL, Pace: pace}
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.get(context.Background(), "/x", url.Values{})
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(stamps); i++ {
+		// Allow generous scheduling slack: the invariant is "roughly
+		// paced", with no two requests in the same instant.
+		if gap := stamps[i].Sub(stamps[i-1]); gap < pace/2 {
+			t.Fatalf("requests %d and %d only %v apart (pace %v)", i-1, i, gap, pace)
+		}
+	}
+}
+
+// TestClientHonorsRetryAfterSeconds: a 429 carrying Retry-After in
+// delay-seconds form delays the retry by at least that long, overriding
+// the (much shorter) exponential fallback.
+func TestClientHonorsRetryAfterSeconds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	start := time.Now()
+	if _, err := c.get(context.Background(), "/x", url.Values{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want ≥1s (Retry-After honored)", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestParseRetryAfter covers the header's two syntaxes and the clamp.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2009, 4, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"garbage", 0, false},
+		{"-5", 0, false},
+		{"0", 0, true},
+		{"7", 7 * time.Second, true},
+		{" 7 ", 7 * time.Second, true},
+		{"90000", retryAfterCap, true}, // clamped
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true}, // past date → retry now
+		{now.Add(24 * time.Hour).Format(http.TimeFormat), retryAfterCap, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestBackoffDelayFullJitter: without Retry-After the delay is uniform
+// in [0, ceiling] — always within the envelope, and not constant.
+func TestBackoffDelayFullJitter(t *testing.T) {
+	c := &Client{}
+	resp := &http.Response{Header: http.Header{}}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		d := c.backoffDelay(2, resp) // ceiling = 200ms
+		if d < 0 || d > 200*time.Millisecond {
+			t.Fatalf("delay %v outside [0, 200ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 jittered delays were all identical")
+	}
+	// Large attempts must clamp to maxBackoff, not overflow.
+	if d := c.backoffDelay(40, resp); d < 0 || d > maxBackoff {
+		t.Fatalf("clamped delay %v outside [0, %v]", d, maxBackoff)
+	}
+}

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Inject("never/armed"); err != nil {
+		t.Fatalf("disarmed site returned %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no sites armed")
+	}
+}
+
+func TestFaultAlways(t *testing.T) {
+	t.Cleanup(Reset)
+	sentinel := errors.New("boom")
+	Arm("t/always", Always(), ErrAction(sentinel))
+	for i := 0; i < 3; i++ {
+		if err := Inject("t/always"); !errors.Is(err, sentinel) {
+			t.Fatalf("hit %d: err = %v, want sentinel", i, err)
+		}
+	}
+	hits, fires := Counts("t/always")
+	if hits != 3 || fires != 3 {
+		t.Fatalf("counts = %d/%d, want 3/3", hits, fires)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled = false with a site armed")
+	}
+}
+
+func TestFaultAfterN(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("t/aftern", AfterN(2), nil)
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := Inject("t/aftern"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("default action error = %v", err)
+			}
+			errs++
+		} else if i >= 2 {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("fired %d times, want 3", errs)
+	}
+}
+
+func TestFaultProbDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	run := func(seed uint64) []bool {
+		Arm("t/prob", Prob(0.5, seed), nil)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("t/prob") != nil
+		}
+		Disarm("t/prob")
+		return out
+	}
+	a, b := run(42), run(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// p=0.5 over 64 draws: both outcomes must occur.
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob trigger fired %d/%d times", fired, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+}
+
+func TestFaultSleepActionHonorsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("t/sleep", Always(), SleepAction(10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := InjectCtx(ctx, "t/sleep")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("sleep action ignored cancellation (%v)", elapsed)
+	}
+}
+
+func TestFaultRearmAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("t/rearm", Always(), nil)
+	if Inject("t/rearm") == nil {
+		t.Fatal("armed site did not fire")
+	}
+	Arm("t/rearm", AfterN(10), nil) // re-arm resets counters and trigger
+	if err := Inject("t/rearm"); err != nil {
+		t.Fatalf("re-armed AfterN(10) fired on first hit: %v", err)
+	}
+	Disarm("t/rearm")
+	if err := Inject("t/rearm"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled after last site disarmed")
+	}
+}
+
+// TestFaultConcurrentInject exercises the registry under -race: concurrent
+// Injects against one site while another goroutine arms/disarms a second.
+func TestFaultConcurrentInject(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("t/conc", AfterN(100), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Inject("t/conc")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			Arm(fmt.Sprintf("t/churn%d", i%4), Always(), nil)
+			Disarm(fmt.Sprintf("t/churn%d", i%4))
+		}
+	}()
+	wg.Wait()
+	hits, fires := Counts("t/conc")
+	if hits != 800 {
+		t.Fatalf("hits = %d, want 800", hits)
+	}
+	if fires != 700 {
+		t.Fatalf("fires = %d, want 700", fires)
+	}
+}

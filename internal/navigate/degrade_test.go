@@ -1,0 +1,152 @@
+package navigate
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"bionav/internal/core"
+	"bionav/internal/faults"
+)
+
+// TestFaultExpandDegradesOnCancelledContext: a cancelled ctx makes
+// ExpandContext fall back to the static all-children cut rather than
+// fail, and the result says so.
+func TestFaultExpandDegradesOnCancelledContext(t *testing.T) {
+	nav := buildNav(t, 501, 150, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := s.ExpandContext(ctx, nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Reason == "" {
+		t.Fatalf("result = %+v, want degraded with reason", res)
+	}
+	if len(res.Revealed) == 0 {
+		t.Fatal("degraded EXPAND revealed nothing")
+	}
+	// The static cut reveals exactly the root's in-component children.
+	want, err := core.StaticAll{}.ChooseCut(context.Background(), core.NewActiveTree(nav), nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Revealed) != len(want) {
+		t.Fatalf("revealed %d, want %d (all children)", len(res.Revealed), len(want))
+	}
+	// Cost accounting matches a normal EXPAND of the same shape.
+	if c := s.Cost(); c.Expands != 1 || c.ConceptsRevealed != len(res.Revealed) {
+		t.Fatalf("cost = %+v", c)
+	}
+}
+
+// TestFaultExpandDegradedSessionStaysConsistent drives a session through
+// a degraded EXPAND (stalled DP, tight deadline) and then keeps using it:
+// follow-up EXPAND and BACKTRACK must behave normally.
+func TestFaultExpandDegradedSessionStaysConsistent(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	nav := buildNav(t, 502, 150, 30)
+	s := NewSession(nav, core.NewCachedHeuristic())
+
+	faults.Arm(faults.SiteDP, faults.Always(), faults.SleepAction(30*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := s.ExpandContext(ctx, nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("degraded EXPAND took %v", elapsed)
+	}
+	if !res.Degraded {
+		t.Fatalf("result = %+v, want degraded", res)
+	}
+	faults.Disarm(faults.SiteDP)
+
+	// The session must remain fully usable: expand a revealed child that
+	// is still expandable, then backtrack both steps.
+	var next = -1
+	for _, r := range res.Revealed {
+		if s.Active().ComponentSize(r) >= 2 {
+			next = r
+			break
+		}
+	}
+	if next == -1 {
+		t.Fatal("no expandable child after degraded EXPAND")
+	}
+	res2, err := s.ExpandContext(context.Background(), next)
+	if err != nil {
+		t.Fatalf("follow-up EXPAND: %v", err)
+	}
+	if res2.Degraded {
+		t.Fatalf("follow-up EXPAND degraded without pressure: %+v", res2)
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatalf("backtrack 1: %v", err)
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatalf("backtrack 2: %v", err)
+	}
+	if got := s.Active().ComponentSize(nav.Root()); got != nav.Len() {
+		t.Fatalf("after backtracks root component = %d nodes, want %d", got, nav.Len())
+	}
+}
+
+// TestExpandLogicalErrorsDoNotDegrade: non-ctx policy failures surface
+// as errors; the static fallback must not mask them.
+func TestExpandLogicalErrorsDoNotDegrade(t *testing.T) {
+	nav := buildNav(t, 503, 150, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	// A hidden node is not a component root: ChooseCut fails logically.
+	if _, err := s.ExpandContext(context.Background(), nav.Root()+1); err == nil {
+		t.Fatal("EXPAND of hidden node succeeded")
+	}
+	if c := s.Cost(); c.Expands != 0 {
+		t.Fatalf("failed EXPAND charged cost: %+v", c)
+	}
+}
+
+// TestExpandDeadlineGenerousIsNotDegraded: with a comfortable budget the
+// result must come back optimal (not degraded).
+func TestExpandDeadlineGenerousIsNotDegraded(t *testing.T) {
+	nav := buildNav(t, 504, 150, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := s.ExpandContext(ctx, nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("degraded under a 1-minute budget: %+v", res)
+	}
+}
+
+// TestDegradedExportReplays: a session containing a degraded EXPAND
+// exports and replays like any other — the log records the applied cut,
+// not how it was chosen.
+func TestDegradedExportReplays(t *testing.T) {
+	nav := buildNav(t, 505, 120, 25)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExpandContext(ctx, nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Replay(nav, core.NewHeuristicReducedOpt(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Cost() != s.Cost() {
+		t.Fatalf("replayed cost %+v != original %+v", restored.Cost(), s.Cost())
+	}
+}

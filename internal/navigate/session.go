@@ -5,6 +5,8 @@
 package navigate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -91,21 +93,76 @@ func (s *Session) Log() []Action { return s.log }
 // choosing the EdgeCut with the session policy. It returns the newly
 // revealed concepts and charges 1 + len(revealed) to the cost.
 func (s *Session) Expand(node navtree.NodeID) ([]navtree.NodeID, error) {
+	res, err := s.ExpandContext(context.Background(), node)
+	return res.Revealed, err
+}
+
+// ExpandResult reports one EXPAND's outcome: the revealed concepts plus
+// whether the policy's optimization was abandoned for the static
+// fallback, and why.
+type ExpandResult struct {
+	Revealed []navtree.NodeID
+	// Degraded is true when the policy cut was cut off by ctx and the
+	// static all-children EdgeCut was applied instead. The expansion is
+	// still a valid navigation step — only its cost optimality is lost.
+	Degraded bool
+	// Reason is the ctx error that forced the degradation ("context
+	// deadline exceeded", "context canceled"); empty when not degraded.
+	Reason string
+}
+
+// ExpandContext is Expand with a computation bound: the context caps the
+// policy's EdgeCut optimization (the Opt-EdgeCut DP checks it
+// mid-search). If the policy is cancelled or runs out its deadline, the
+// expansion degrades gracefully to the static all-children EdgeCut — the
+// paper's §VIII baseline, always valid and O(children) — instead of
+// failing, and the result is flagged Degraded. The session's tree and
+// cost state are mutated only after a cut (optimal or fallback) is in
+// hand, so a degraded EXPAND leaves the session exactly as consistent as
+// a normal one.
+func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (ExpandResult, error) {
 	if node < 0 || node >= s.at.Nav().Len() {
-		return nil, fmt.Errorf("navigate: EXPAND on unknown node %d", node)
+		return ExpandResult{}, fmt.Errorf("navigate: EXPAND on unknown node %d", node)
 	}
-	cut, err := s.policy.ChooseCut(s.at, node)
+	var res ExpandResult
+	cut, err := s.policy.ChooseCut(ctx, s.at, node)
 	if err != nil {
-		return nil, err
+		if !isContextErr(ctx, err) {
+			return ExpandResult{}, err // logical failure: degradation can't help
+		}
+		res.Degraded = true
+		res.Reason = reasonFor(ctx, err)
+		// The fallback runs without the expired ctx: StaticAll is a plain
+		// child-list walk and must not itself be cancelled.
+		cut, err = core.StaticAll{}.ChooseCut(context.Background(), s.at, node)
+		if err != nil {
+			return ExpandResult{}, fmt.Errorf("navigate: degraded EXPAND fallback: %w", err)
+		}
 	}
 	revealed, err := s.at.Expand(node, cut)
 	if err != nil {
-		return nil, err
+		return ExpandResult{}, err
 	}
 	s.cost.Expands++
 	s.cost.ConceptsRevealed += len(revealed)
 	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})
-	return revealed, nil
+	res.Revealed = revealed
+	return res, nil
+}
+
+// isContextErr reports whether a ChooseCut failure is a cancellation —
+// the only failure class the static fallback can repair.
+func isContextErr(ctx context.Context, err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil
+}
+
+// reasonFor prefers the ctx's own error for the degradation reason: a
+// policy may surface a wrapped or foreign error after its deadline fired.
+func reasonFor(ctx context.Context, err error) string {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr.Error()
+	}
+	return err.Error()
 }
 
 // ShowResults lists the distinct citations of node's component, sorted by

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"strings"
 	"sync"
+
+	"bionav/internal/faults"
 )
 
 // NormalizeQuery canonicalizes a keyword query for cache keying: whitespace
@@ -54,10 +56,17 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// Get returns the cached tree for key, marking it most recently used.
+// Get returns the cached tree for key, marking it most recently used. An
+// armed faults.SiteNavCacheGet failpoint forces a miss — simulating a
+// failed or cold cache tier; callers rebuild the tree, which is the
+// cache's contractual degradation path.
 func (c *Cache) Get(key string) (*Tree, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if faults.Inject(faults.SiteNavCacheGet) != nil {
+		c.misses++
+		return nil, false
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++

@@ -1,0 +1,63 @@
+package navtree
+
+import (
+	"errors"
+	"testing"
+
+	"bionav/internal/faults"
+)
+
+// TestFaultCacheGetForcedMiss: an armed SiteNavCacheGet failpoint turns
+// every Get into a miss — even for a present key — so callers fall back
+// to rebuilding the tree. The entry itself is untouched and serves hits
+// again the moment the fault is disarmed.
+func TestFaultCacheGetForcedMiss(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	f := newFixture(t)
+	tree := f.build(t, 1)
+	c := NewCache(4)
+	c.Add("q", tree)
+
+	faults.Arm(faults.SiteNavCacheGet, faults.Always(), nil)
+	if _, ok := c.Get("q"); ok {
+		t.Fatal("Get hit with the cache failpoint armed")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses, want 0/1", hits, misses)
+	}
+
+	faults.Disarm(faults.SiteNavCacheGet)
+	got, ok := c.Get("q")
+	if !ok || got != tree {
+		t.Fatal("entry lost after forced misses")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestFaultCacheGetAfterN: the first N lookups behave normally, then the
+// cache tier "fails" — the trigger-after-N mode used to simulate a cache
+// that degrades mid-session.
+func TestFaultCacheGetAfterN(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	f := newFixture(t)
+	c := NewCache(4)
+	c.Add("q", f.build(t, 1))
+
+	faults.Arm(faults.SiteNavCacheGet, faults.AfterN(2), nil)
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get("q"); !ok {
+			t.Fatalf("lookup %d missed before the trigger threshold", i)
+		}
+	}
+	if _, ok := c.Get("q"); ok {
+		t.Fatal("lookup 3 hit past the trigger threshold")
+	}
+	if _, fires := faults.Counts(faults.SiteNavCacheGet); fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+	if !errors.Is(faults.Inject(faults.SiteNavCacheGet), faults.ErrInjected) {
+		t.Fatal("failpoint stopped firing")
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// post is a goroutine-safe POST helper (no t.Fatal) for stress tests.
+func post(url string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// TestSessionTTLEvictionRacesInFlight expires sessions aggressively
+// while goroutines keep issuing actions against them. A request may
+// find its session gone (404) or the action invalid (422), but the
+// server must never 5xx, corrupt state, or trip the race detector — a
+// goroutine that obtained the session before eviction finishes its
+// action on the still-valid private state.
+func TestSessionTTLEvictionRacesInFlight(t *testing.T) {
+	srv, ts := testServer(t, Config{SessionTTL: 15 * time.Millisecond})
+	id, root := startSession(t, srv, ts.URL)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				for _, req := range []struct {
+					path string
+					body any
+				}{
+					{"/api/expand", map[string]any{"session": id, "node": root}},
+					{"/api/backtrack", map[string]any{"session": id}},
+				} {
+					status, err := post(ts.URL+req.path, req.body)
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch status {
+					case http.StatusOK, http.StatusNotFound, http.StatusUnprocessableEntity:
+					default:
+						errs <- fmt.Errorf("%s under TTL churn: status %d", req.path, status)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Churn registrations concurrently so evictLocked runs against the
+	// in-flight lookups, not just the TTL check inside lookup.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		kw := queryTerm(srv)
+		for time.Now().Before(deadline) {
+			if _, err := post(ts.URL+"/api/query", map[string]string{"keywords": kw}); err != nil {
+				errs <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxSessionsEvictsOldest: registrations past MaxSessions drop the
+// least recently used session — and only that one.
+func TestMaxSessionsEvictsOldest(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxSessions: 4})
+	ids := make([]string, 0, 5)
+	for i := 0; i < 4; i++ {
+		id, _ := startSession(t, srv, ts.URL)
+		ids = append(ids, id)
+		time.Sleep(time.Millisecond) // strictly ordered lastUsed stamps
+	}
+	// Touch the oldest so the second-oldest becomes the eviction victim.
+	if _, err := srv.lookup(ids[0]); err != nil {
+		t.Fatalf("lookup(%s): %v", ids[0], err)
+	}
+	time.Sleep(time.Millisecond)
+
+	id, _ := startSession(t, srv, ts.URL) // 5th registration: evicts ids[1]
+	ids = append(ids, id)
+
+	if _, err := srv.lookup(ids[1]); err == nil {
+		t.Fatalf("LRU session %s survived eviction", ids[1])
+	}
+	for _, id := range []string{ids[0], ids[2], ids[3], ids[4]} {
+		if _, err := srv.lookup(id); err != nil {
+			t.Fatalf("session %s wrongly evicted: %v", id, err)
+		}
+	}
+}
+
+// TestMaxSessionsUnderConcurrentRegistration registers far more
+// sessions than the cap from many goroutines: the map must never
+// exceed MaxSessions and every response must still be a fresh, usable
+// session (its own ID valid immediately after creation... unless a
+// concurrent burst already evicted it, which maps to 404, not chaos).
+func TestMaxSessionsUnderConcurrentRegistration(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxSessions: 4})
+	kw := queryTerm(srv)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, err := post(ts.URL+"/api/query", map[string]string{"keywords": kw})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("query status %d", status)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	n := len(srv.sessions)
+	srv.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("%d live sessions, cap is 4", n)
+	}
+	if n == 0 {
+		t.Fatal("all sessions evicted")
+	}
+}

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -33,6 +37,70 @@ func Middleware(next http.Handler, logger *log.Logger) http.Handler {
 		}()
 		next.ServeHTTP(rec, r)
 	})
+}
+
+// errOverloaded is the body of a shed 503.
+var errOverloaded = errors.New("server overloaded, retry later")
+
+// limitInFlight is the overload-control middleware: a counting semaphore
+// bounds concurrently served requests at Config.MaxInFlight. An
+// over-limit request waits in a short queue — at most Config.QueueWait —
+// for a slot; if none frees up it is shed with 503 and a Retry-After
+// hint instead of piling onto a saturated server. No-op when shedding is
+// disabled (MaxInFlight < 0).
+func (s *Server) limitInFlight(next http.Handler) http.Handler {
+	if s.sem == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Saturated: wait briefly rather than failing instantly, so a
+			// momentary burst rides out without client-visible errors.
+			timer := time.NewTimer(s.cfg.QueueWait)
+			defer timer.Stop()
+			select {
+			case s.sem <- struct{}{}:
+			case <-timer.C:
+				s.met.shedRequests.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+				httpError(w, http.StatusServiceUnavailable, errOverloaded)
+				return
+			case <-r.Context().Done():
+				// Client gave up while queued; nothing useful to send.
+				httpError(w, http.StatusServiceUnavailable, errOverloaded)
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds each request's context to d, so every handler —
+// and, through it, the EdgeCut DP — observes one whole-request deadline.
+// The handler keeps the connection (unlike http.TimeoutHandler) because
+// EXPAND degrades on deadline rather than aborting. d <= 0 disables.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// retryAfterSeconds renders a duration as the integral seconds form of
+// the Retry-After header, rounding up so the client never retries early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // statusRecorder captures the response status for the access log.

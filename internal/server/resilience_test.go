@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"bionav/internal/faults"
+)
+
+// startSession runs a query and returns the session ID and the root node.
+func startSession(t *testing.T, srv *Server, ts string) (string, int) {
+	t.Helper()
+	resp, raw := postJSON(t, ts+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Session string `json:"session"`
+		Tree    struct {
+			Node int `json:"node"`
+		} `json:"tree"`
+	}
+	reencode(t, raw, &state)
+	return state.Session, state.Tree.Node
+}
+
+// TestFaultExpandDegradesWithinBudget is the headline acceptance test:
+// with the DP stalled by a failpoint, EXPAND answers within the
+// configured budget, flagged "degraded": true, and the same session
+// keeps working afterwards (follow-up EXPAND and BACKTRACK succeed).
+func TestFaultExpandDegradesWithinBudget(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	srv, ts := testServer(t, Config{ExpandBudget: 50 * time.Millisecond})
+	id, root := startSession(t, srv, ts.URL)
+
+	faults.Arm(faults.SiteDP, faults.Always(), faults.SleepAction(30*time.Second))
+	start := time.Now()
+	resp, raw := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": id, "node": root})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("EXPAND ignored its %v budget (took %v)", srv.cfg.ExpandBudget, elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expand status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Degraded       bool   `json:"degraded"`
+		DegradedReason string `json:"degradedReason"`
+		Tree           struct {
+			Children []struct {
+				Node       int  `json:"node"`
+				Expandable bool `json:"expandable"`
+			} `json:"children"`
+		} `json:"tree"`
+	}
+	reencode(t, raw, &state)
+	if !state.Degraded || state.DegradedReason == "" {
+		t.Fatalf("response not flagged degraded: %+v", state)
+	}
+	if len(state.Tree.Children) == 0 {
+		t.Fatal("degraded EXPAND revealed no children")
+	}
+	faults.Disarm(faults.SiteDP)
+
+	// The session survived: a normal follow-up EXPAND and two BACKTRACKs.
+	next := -1
+	for _, c := range state.Tree.Children {
+		if c.Expandable {
+			next = c.Node
+			break
+		}
+	}
+	if next == -1 {
+		t.Fatal("no expandable child after degraded EXPAND")
+	}
+	resp, raw = postJSON(t, ts.URL+"/api/expand", map[string]any{"session": id, "node": next})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up expand status %d: %s", resp.StatusCode, raw["error"])
+	}
+	if _, ok := raw["degraded"]; ok {
+		t.Fatal("follow-up EXPAND degraded with no pressure")
+	}
+	for i := 0; i < 2; i++ {
+		resp, raw = postJSON(t, ts.URL+"/api/backtrack", map[string]any{"session": id})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backtrack %d status %d: %s", i, resp.StatusCode, raw["error"])
+		}
+	}
+
+	// The counters saw it.
+	st := getStats(t, ts.URL)
+	if st["degradedExpands"] != 1 || st["expandTimeouts"] != 1 {
+		t.Fatalf("stats = %v, want 1 degraded / 1 timeout", st)
+	}
+}
+
+// TestFaultOverloadSheds503 saturates the in-flight semaphore with
+// failpoint-stalled EXPANDs and checks that the over-limit request is
+// shed with 503 + Retry-After while the stalled (in-limit) requests
+// still complete successfully once released.
+func TestFaultOverloadSheds503(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	srv, ts := testServer(t, Config{
+		MaxInFlight:  2,
+		QueueWait:    10 * time.Millisecond,
+		RetryAfter:   3 * time.Second,
+		ExpandBudget: time.Minute, // the stall is released manually, not by deadline
+	})
+	id, root := startSession(t, srv, ts.URL)
+	id2, root2 := startSession(t, srv, ts.URL)
+
+	// The DP parks inside the failpoint until we release it, holding the
+	// request's semaphore slot the whole time.
+	release := make(chan struct{})
+	faults.Arm(faults.SiteDP, faults.Always(), func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+
+	var wg sync.WaitGroup
+	status := make([]int, 2)
+	for i, req := range []map[string]any{
+		{"session": id, "node": root},
+		{"session": id2, "node": root2},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/api/expand", req)
+			status[i] = resp.StatusCode
+		}()
+	}
+
+	// Both slots taken ⇔ /readyz flips to 503 (it bypasses the limiter).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never reported saturation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Over the limit: shed with 503 and the configured Retry-After hint.
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit request got %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	// Liveness keeps answering even while the API is saturated.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Release the in-limit requests: they must finish with 200s.
+	close(release)
+	wg.Wait()
+	for i, st := range status {
+		if st != http.StatusOK {
+			t.Fatalf("in-limit request %d finished %d, want 200", i, st)
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if st["shedRequests"] < 1 {
+		t.Fatalf("stats = %v, want ≥1 shed", st)
+	}
+	// Back under the limit, readiness recovers.
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after release = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestProbesIdle: both probes answer 200 on an idle server.
+func TestProbesIdle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// getStats fetches /api/stats and returns the numeric counters.
+func getStats(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		var f float64
+		if json.Unmarshal(v, &f) == nil {
+			out[k] = f
+		}
+	}
+	return out
+}

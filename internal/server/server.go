@@ -3,16 +3,34 @@
 // navigates it through EXPAND / SHOWRESULTS / BACKTRACK actions, each
 // expansion running Heuristic-ReducedOpt. State is kept in server-side
 // sessions so the active tree survives across requests.
+//
+// The server is deadline-bounded and sheds load rather than queueing
+// unboundedly. The resilience knobs, all on Config (zero value = default,
+// negative = disabled where noted):
+//
+//   - ExpandBudget caps the EdgeCut optimization of one EXPAND. When the
+//     budget expires the expansion degrades to the static all-children cut
+//     and the response carries "degraded": true (see docs/RESILIENCE.md).
+//   - MaxInFlight bounds concurrently served /api/ requests; excess
+//     requests wait up to QueueWait for a slot and are then shed with
+//     503 + Retry-After (RetryAfter seconds).
+//   - APITimeout bounds a whole /api/ request via its context.
+//
+// Liveness is served at /healthz (always 200 while the process runs) and
+// readiness at /readyz (503 once the in-flight limit is saturated).
+// /api/stats exposes the shed / degraded / timeout counters.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bionav/internal/core"
@@ -28,6 +46,13 @@ type Config struct {
 	SessionTTL   time.Duration // evict sessions idle longer than this (default 30m)
 	PolicyK      int           // Heuristic-ReducedOpt budget (default 10)
 	NavCacheSize int           // navigation trees cached across queries (default 128; negative disables)
+
+	// Resilience knobs — see the package comment and docs/RESILIENCE.md.
+	ExpandBudget time.Duration // EdgeCut optimization budget per EXPAND (default 2s; negative disables)
+	MaxInFlight  int           // concurrent /api/ requests (default 64; negative disables shedding)
+	QueueWait    time.Duration // how long an over-limit request waits for a slot (default 100ms)
+	RetryAfter   time.Duration // Retry-After hint on shed requests (default 1s)
+	APITimeout   time.Duration // whole-request deadline for /api/ (default 30s; negative disables)
 }
 
 func (c *Config) fill() {
@@ -43,6 +68,28 @@ func (c *Config) fill() {
 	if c.NavCacheSize == 0 {
 		c.NavCacheSize = 128
 	}
+	if c.ExpandBudget == 0 {
+		c.ExpandBudget = 2 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.APITimeout == 0 {
+		c.APITimeout = 30 * time.Second
+	}
+}
+
+// metrics are the resilience counters surfaced by /api/stats.
+type metrics struct {
+	degradedExpands atomic.Uint64 // EXPANDs that fell back to the static cut
+	shedRequests    atomic.Uint64 // requests refused with 503 + Retry-After
+	expandTimeouts  atomic.Uint64 // degraded EXPANDs caused by the budget deadline
 }
 
 // Server serves the BioNav API over one dataset. Safe for concurrent use.
@@ -51,6 +98,8 @@ type Server struct {
 	cfg      Config
 	scorer   *rank.Scorer
 	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions
+	sem      chan struct{}  // in-flight /api/ slots; nil when shedding disabled
+	met      metrics
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -79,6 +128,9 @@ func New(ds *store.Dataset, cfg Config) *Server {
 	if cfg.NavCacheSize > 0 {
 		s.navCache = navtree.NewCache(cfg.NavCacheSize)
 	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
 	return s
 }
 
@@ -105,18 +157,41 @@ func (s *Server) navTreeFor(keywords string) (*navtree.Tree, error) {
 }
 
 // Handler returns the HTTP handler: the HTML UI at "/", the JSON API under
-// "/api/".
+// "/api/", and the probe endpoints /healthz and /readyz. API routes sit
+// behind the overload/timeout middleware stack; probes deliberately do
+// not, so they answer even when the API is saturated.
 func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /api/query", s.handleQuery)
+	api.HandleFunc("POST /api/expand", s.handleExpand)
+	api.HandleFunc("POST /api/backtrack", s.handleBacktrack)
+	api.HandleFunc("GET /api/results", s.handleResults)
+	api.HandleFunc("GET /api/export", s.handleExport)
+	api.HandleFunc("POST /api/import", s.handleImport)
+	api.HandleFunc("GET /api/stats", s.handleStats)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/expand", s.handleExpand)
-	mux.HandleFunc("POST /api/backtrack", s.handleBacktrack)
-	mux.HandleFunc("GET /api/results", s.handleResults)
-	mux.HandleFunc("GET /api/export", s.handleExport)
-	mux.HandleFunc("POST /api/import", s.handleImport)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("/api/", s.limitInFlight(withTimeout(s.cfg.APITimeout, api)))
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while every in-flight slot is
+// taken, so a load balancer stops routing here before requests get shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.sem != nil && len(s.sem) == cap(s.sem) {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // --- JSON wire types ---
@@ -140,6 +215,11 @@ type stateResponse struct {
 	Results  int      `json:"results"`
 	Cost     costView `json:"cost"`
 	Tree     nodeView `json:"tree"`
+	// Degraded is set on an EXPAND response whose EdgeCut optimization ran
+	// out its budget and fell back to the static all-children cut; Reason
+	// carries the context error ("context deadline exceeded", …).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 type costView struct {
@@ -194,14 +274,31 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
+	// The optimization budget nests inside the request context, so both
+	// the per-EXPAND deadline and a client disconnect bound the DP.
+	ctx := r.Context()
+	if s.cfg.ExpandBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ExpandBudget)
+		defer cancel()
+	}
 	sess.mu.Lock()
-	if _, err := sess.nav.Expand(req.Node); err != nil {
+	res, err := sess.nav.ExpandContext(ctx, req.Node)
+	if err != nil {
 		sess.mu.Unlock()
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
+	if res.Degraded {
+		s.met.degradedExpands.Add(1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.expandTimeouts.Add(1)
+		}
+		resp.Degraded = true
+		resp.DegradedReason = res.Reason
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -311,10 +408,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	active := len(s.sessions)
 	s.mu.Unlock()
 	stats := map[string]any{
-		"concepts":  s.ds.Tree.Len(),
-		"citations": s.ds.Corpus.Len(),
-		"terms":     s.ds.Index.Terms(),
-		"sessions":  active,
+		"concepts":        s.ds.Tree.Len(),
+		"citations":       s.ds.Corpus.Len(),
+		"terms":           s.ds.Index.Terms(),
+		"sessions":        active,
+		"degradedExpands": s.met.degradedExpands.Load(),
+		"shedRequests":    s.met.shedRequests.Load(),
+		"expandTimeouts":  s.met.expandTimeouts.Load(),
 	}
 	if s.navCache != nil {
 		hits, misses := s.navCache.Stats()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bionav/internal/corpus"
+	"bionav/internal/faults"
 	"bionav/internal/hierarchy"
 	"bionav/internal/index"
 )
@@ -91,8 +92,14 @@ func (ds *Dataset) save(w *Writer) error {
 	return it.Append(buf.Bytes())
 }
 
-// LoadDataset reads a dataset previously written by Save.
+// LoadDataset reads a dataset previously written by Save. The
+// faults.SiteStoreLoad failpoint fires before any file is opened, so an
+// injected failure exercises the caller's error path without touching
+// state.
 func LoadDataset(dir string) (*Dataset, error) {
+	if err := faults.Inject(faults.SiteStoreLoad); err != nil {
+		return nil, fmt.Errorf("store: load dataset: %w", err)
+	}
 	db, err := Open(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"bionav/internal/faults"
+)
+
+// TestFaultLoadDatasetInjected: an armed SiteStoreLoad failpoint makes
+// LoadDataset fail cleanly before touching the directory, and loading
+// works again once the fault is disarmed — the startup path a server
+// retry loop depends on.
+func TestFaultLoadDatasetInjected(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	ds := testDatasetSized(t, 120, 60)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	faults.Arm(faults.SiteStoreLoad, faults.Always(), nil)
+	if _, err := LoadDataset(dir); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	faults.Disarm(faults.SiteStoreLoad)
+	got, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatalf("Load after disarm: %v", err)
+	}
+	if got.Tree.Len() != ds.Tree.Len() || got.Corpus.Len() != ds.Corpus.Len() {
+		t.Fatal("dataset loaded after disarm differs from the saved one")
+	}
+}
+
+// TestFaultLoadDatasetWrappedError: a custom injected error (e.g. a
+// simulated I/O failure) flows through LoadDataset's error wrapping so
+// callers can still errors.Is against the root cause.
+func TestFaultLoadDatasetWrappedError(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	sentinel := errors.New("disk on fire")
+	faults.Arm(faults.SiteStoreLoad, faults.Always(), faults.ErrAction(sentinel))
+	if _, err := LoadDataset(t.TempDir()); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
