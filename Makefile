@@ -1,14 +1,15 @@
-# BioNav developer targets. Stdlib-only project; gofmt + go vet are the
-# full lint suite.
+# BioNav developer targets. Stdlib-only project; gofmt, go vet, and the
+# in-repo bionav-lint analyzer are the full lint suite.
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt bench bench-json faults-test experiments demo clean
+.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test experiments demo clean
 
-all: fmt vet test build
+all: fmt vet lint test build
 
-# Full pre-merge gate: formatting, vet, build, tests, and the race detector.
-check: fmt vet build test race
+# Full pre-merge gate: formatting, vet, the project linter, build, tests,
+# and the race detector.
+check: fmt vet lint build test race
 
 build:
 	$(GO) build ./...
@@ -23,7 +24,23 @@ vet:
 	$(GO) vet ./...
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then echo "gofmt -s needed:"; echo "$$out"; exit 1; fi
+
+# Project-invariant static analysis: determinism, context discipline,
+# logging hygiene, error wrapping (docs/STATIC_ANALYSIS.md).
+lint:
+	$(GO) run ./cmd/bionav-lint ./...
+
+# Deep-assertion build: internal/check's EdgeCut/active-tree/cost-model
+# validations panic on violation in every navigation test.
+checks-test:
+	$(GO) test -race -tags bionav_checks ./...
+
+# Short fuzz runs of the differential Opt-EdgeCut target and the
+# hierarchy serialization round-trip — CI-sized smoke, not a campaign.
+fuzz-smoke:
+	$(GO) test -run FuzzOptEdgeCut -fuzz FuzzOptEdgeCut -fuzztime 10s ./internal/core
+	$(GO) test -run FuzzHierarchySerialization -fuzz FuzzHierarchySerialization -fuzztime 10s ./internal/hierarchy
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

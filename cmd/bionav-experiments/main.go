@@ -76,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		r = experiments.NewRunnerFor(wl)
+		r.Clock = time.Now
 	} else {
 		fmt.Fprintf(w, "BioNav experiment harness — scale=%s seed=%d\n", *scale, *seed)
 		fmt.Fprintf(w, "synthesizing workload (%d-concept hierarchy, %d queries)…\n\n",
@@ -85,6 +86,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		r.Clock = time.Now
 	}
 
 	if *exp == "all" {

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden tests load each fixture package under testdata/src, run the
+// full rule+suppression pipeline, and compare against `// want` markers in
+// the fixture source:
+//
+//	expr() // want RULE        a RULE diagnostic on this line
+//	code   // want RULE@-1     a RULE diagnostic one line above (for
+//	                           diagnostics on comment-only lines, where a
+//	                           marker cannot share the line)
+//
+// One marker comment may list several space-separated expectations.
+
+// fixtureConfig scopes the rules for the fixture universe: fixture import
+// paths live under "fix/" so the scoped rules (DET01 allowlist, DET02,
+// CTX01's Background ban) can be pointed at individual fixtures.
+func fixtureConfig() config {
+	return config{
+		det01Allow:  []string{"fix/det01allow"},
+		det02Scope:  []string{"fix/det02"},
+		ctxBanScope: []string{"fix/"},
+	}
+}
+
+var wantMarker = regexp.MustCompile(`// want ([A-Z][A-Z0-9]*(?:@-?\d+)?(?: [A-Z][A-Z0-9]*(?:@-?\d+)?)*)`)
+
+// parseWant scans the fixture's .go files for marker comments and returns
+// the expected diagnostics as "file:line:RULE" keys.
+func parseWant(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, tok := range strings.Fields(m[1]) {
+				rule, offset := tok, 0
+				if at := strings.IndexByte(tok, '@'); at >= 0 {
+					rule = tok[:at]
+					offset, err = strconv.Atoi(tok[at+1:])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want marker %q", path, i+1, tok)
+					}
+				}
+				want[fmt.Sprintf("%s:%d:%s", path, i+1+offset, rule)] = true
+			}
+		}
+	}
+	if len(want) == 0 && !strings.Contains(dir, "allow") {
+		t.Fatalf("fixture %s has no want markers", dir)
+	}
+	return want
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	fixtures := []string{"det01", "det01allow", "det02", "ctx01", "log01", "err01", "suppress"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			l := newLoader(dir, "fix/"+name)
+			pkg, err := l.loadDir(dir, "fix/"+name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			got := make(map[string]bool)
+			for _, d := range lintPackage(l.fset, pkg, fixtureConfig()) {
+				got[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Rule)] = true
+			}
+			want := parseWant(t, dir)
+			var missing, extra []string
+			for k := range want {
+				if !got[k] {
+					missing = append(missing, k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					extra = append(extra, k)
+				}
+			}
+			sort.Strings(missing)
+			sort.Strings(extra)
+			for _, k := range missing {
+				t.Errorf("expected diagnostic did not fire: %s", k)
+			}
+			for _, k := range extra {
+				t.Errorf("unexpected diagnostic: %s", k)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the acceptance gate in test form: the real module,
+// linted with the real configuration, must produce zero diagnostics — the
+// same contract `make lint` enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modDir, modPath)
+	paths, err := l.discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repoConfig(modPath)
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		for _, d := range lintPackage(l.fset, pkg, cfg) {
+			t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+// The loader resolves and type-checks the module's packages with nothing
+// but the standard library: go/build selects the files a default build
+// would compile (so bionav_checks-tagged files and _test.go files are out
+// of scope), go/parser produces the syntax trees the rules walk, and
+// go/types runs full type checking so rules can resolve identifiers to
+// their defining package (import renaming, shadowing, and method sets are
+// handled for free). Module-internal imports are served recursively from
+// this loader; standard-library imports fall back to the stdlib source
+// importer, which type-checks $GOROOT/src on demand — no x/tools, no
+// export data, no `go list` subprocess.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// lintPkg is one type-checked package ready for rule evaluation.
+type lintPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string // package name ("main" exempts DET01/LOG01)
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+type loader struct {
+	fset    *token.FileSet
+	modDir  string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*lintPkg
+	loading map[string]bool
+}
+
+func newLoader(modDir, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modDir:  modDir,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*lintPkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer: module-internal paths load (and cache)
+// through the loader itself; everything else is standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *loader) dirFor(importPath string) string {
+	if importPath == l.modPath {
+		return l.modDir
+	}
+	rel := strings.TrimPrefix(importPath, l.modPath+"/")
+	return filepath.Join(l.modDir, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module package (cached).
+func (l *loader) load(importPath string) (*lintPkg, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	p, err := l.loadDir(l.dirFor(importPath), importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// loadDir parses and type-checks the default-build files of one directory
+// under the given import path. It is also the entry point the golden tests
+// use to check fixture packages that live outside the module tree.
+func (l *loader) loadDir(dir, importPath string) (*lintPkg, error) {
+	ctxt := build.Default
+	bp, err := ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	sort.Strings(bp.GoFiles)
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &lintPkg{
+		ImportPath: importPath,
+		Dir:        dir,
+		Name:       bp.Name,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// discover walks the module tree and returns the import paths of every
+// buildable package, root first then lexicographic.
+func (l *loader) discover() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if _, err := build.Default.ImportDir(path, 0); err != nil {
+			if _, multi := err.(*build.MultiplePackageError); multi {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			return nil // no buildable Go files here: nothing to lint
+		}
+		rel, err := filepath.Rel(l.modDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modPath)
+		} else {
+			paths = append(paths, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,104 @@
+// Command bionav-lint is BioNav's custom static analyzer. It machine-checks
+// the project invariants the compiler cannot see — deterministic replay
+// (DET01/DET02), context discipline (CTX01), library logging hygiene
+// (LOG01), and error wrapping (ERR01) — using only the standard library's
+// go/parser, go/ast, and go/types (no x/tools, honoring the stdlib-only
+// rule). See docs/STATIC_ANALYSIS.md for the rule catalog and the
+// //lint:ignore suppression syntax.
+//
+// Usage:
+//
+//	bionav-lint [./...|import-path...]
+//
+// With no arguments (or "./..."), every package of the enclosing module is
+// linted. Diagnostics print as "file:line:col: RULE: message"; the exit
+// status is 1 if any diagnostic fires.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bionav-lint [./...|import-path...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	n, err := run(flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bionav-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "bionav-lint: %d issue(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run lints the requested packages and returns the diagnostic count.
+func run(args []string, out *os.File) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		return 0, err
+	}
+	l := newLoader(modDir, modPath)
+
+	var paths []string
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			all, err := l.discover()
+			if err != nil {
+				return 0, err
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(a, modPath):
+			paths = append(paths, a)
+		default:
+			// Relative directory → import path.
+			abs, err := filepath.Abs(a)
+			if err != nil {
+				return 0, err
+			}
+			rel, err := filepath.Rel(modDir, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return 0, fmt.Errorf("%s is outside module %s", a, modPath)
+			}
+			if rel == "." {
+				paths = append(paths, modPath)
+			} else {
+				paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+	}
+
+	cfg := repoConfig(modPath)
+	total := 0
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range lintPackage(l.fset, pkg, cfg) {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,310 @@
+package main
+
+// The rule set. Each rule protects an invariant the compiler cannot see
+// (docs/STATIC_ANALYSIS.md catalogs the rationale):
+//
+//	DET01  deterministic replay: no math/rand import, no time.Now or
+//	       time.Since, outside the wall-clock allowlist and package main.
+//	DET02  stable serialization: a range over a map that appends or writes
+//	       must be followed by a sort in the same function.
+//	CTX01  context discipline: ctx is the first parameter of exported
+//	       functions that take one, and library code under internal/ never
+//	       mints its own context.Background/TODO.
+//	LOG01  no fmt.Print*/log.Print* (or log.Fatal*/Panic*) in library
+//	       packages; commands own the process's stdout and exit policy.
+//	ERR01  fmt.Errorf with an error argument must wrap it with %w so
+//	       callers can errors.Is/As through the chain.
+//
+// Rules resolve callees through go/types (import renaming and shadowing
+// cannot fool them) and report positions for the suppression layer in
+// suppress.go to filter.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// diagnostic is one rule violation at a source position.
+type diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// config scopes the rules. Paths are import-path prefixes; an empty scope
+// slice for DET02/CTX01's Background ban means "nowhere".
+type config struct {
+	// det01Allow exempts packages from DET01 (wall-clock/PRNG users that
+	// own pacing, TTLs, or jittered backoff). Package main is always
+	// exempt: commands wire clocks into libraries.
+	det01Allow []string
+	// det02Scope lists the packages whose map iteration feeds
+	// serialization and must therefore sort.
+	det02Scope []string
+	// ctxBanScope lists the packages where minting context.Background()/
+	// context.TODO() is banned (library code that must thread its
+	// caller's ctx).
+	ctxBanScope []string
+}
+
+// repoConfig is the configuration `make lint` runs with — the scopes the
+// ISSUE/docs define, expressed as bionav import paths.
+func repoConfig(modPath string) config {
+	p := func(s string) string { return modPath + "/" + s }
+	return config{
+		det01Allow:  []string{p("internal/rng"), p("internal/eutils"), p("internal/server")},
+		det02Scope:  []string{p("internal/hierarchy"), p("internal/navtree"), p("internal/core")},
+		ctxBanScope: []string{p("internal/")},
+	}
+}
+
+func hasPrefixAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") || (strings.HasSuffix(p, "/") && strings.HasPrefix(path, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// runRules evaluates every rule over pkg and returns raw (unsuppressed)
+// diagnostics.
+func runRules(fset *token.FileSet, pkg *lintPkg, cfg config) []diagnostic {
+	r := &ruleRunner{fset: fset, pkg: pkg, cfg: cfg}
+	for _, f := range pkg.Files {
+		r.file(f)
+	}
+	return r.diags
+}
+
+type ruleRunner struct {
+	fset  *token.FileSet
+	pkg   *lintPkg
+	cfg   config
+	diags []diagnostic
+}
+
+func (r *ruleRunner) report(pos token.Pos, rule, format string, args ...any) {
+	r.diags = append(r.diags, diagnostic{
+		Pos:  r.fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// callee resolves a call to its *types.Func when the callee is a
+// package-level function or method selected via a selector or plain ident.
+func (r *ruleRunner) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := r.pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIs reports whether the call resolves to the package-level function
+// pkgPath.name. Methods never match: a Printf on an injected *log.Logger
+// is the sanctioned alternative to the package-global one LOG01 bans.
+func calleeIs(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *ruleRunner) file(f *ast.File) {
+	det01 := r.pkg.Name != "main" && !hasPrefixAny(r.pkg.ImportPath, r.cfg.det01Allow)
+	det02 := hasPrefixAny(r.pkg.ImportPath, r.cfg.det02Scope)
+	ctxBan := r.pkg.Name != "main" && hasPrefixAny(r.pkg.ImportPath, r.cfg.ctxBanScope)
+	log01 := r.pkg.Name != "main"
+
+	if det01 {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				r.report(imp.Pos(), "DET01",
+					"import of %s in deterministic package %s (use internal/rng)", imp.Path.Value, r.pkg.ImportPath)
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := r.callee(n)
+			if det01 && calleeIs(fn, "time", "Now", "Since") {
+				r.report(n.Pos(), "DET01",
+					"time.%s in deterministic package %s (inject a clock from the caller)", fn.Name(), r.pkg.ImportPath)
+			}
+			if ctxBan && calleeIs(fn, "context", "Background", "TODO") {
+				r.report(n.Pos(), "CTX01",
+					"context.%s in library package %s (thread the caller's ctx)", fn.Name(), r.pkg.ImportPath)
+			}
+			if log01 && (calleeIs(fn, "fmt", "Print", "Printf", "Println") ||
+				calleeIs(fn, "log", "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln")) {
+				r.report(n.Pos(), "LOG01",
+					"%s.%s in library package %s (return errors or take an io.Writer)", fn.Pkg().Name(), fn.Name(), r.pkg.ImportPath)
+			}
+			r.checkErrorf(n)
+		case *ast.FuncDecl:
+			r.checkCtxFirst(n)
+			if det02 {
+				r.checkMapRanges(n)
+			}
+		}
+		return true
+	})
+}
+
+// checkErrorf implements ERR01.
+func (r *ruleRunner) checkErrorf(call *ast.CallExpr) {
+	fn := r.callee(call)
+	if !calleeIs(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := r.pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot reason about verbs
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, arg := range call.Args[1:] {
+		t := r.pkg.Info.Types[arg].Type
+		if t == nil || t == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if types.Implements(t, errType) {
+			r.report(call.Pos(), "ERR01",
+				"fmt.Errorf formats an error argument without %%w (callers cannot errors.Is/As through it)")
+			return
+		}
+	}
+}
+
+// checkCtxFirst implements the parameter-position half of CTX01.
+func (r *ruleRunner) checkCtxFirst(decl *ast.FuncDecl) {
+	if decl.Name == nil || !decl.Name.IsExported() || decl.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContextType(r.pkg.Info.Types[field.Type].Type) && idx > 0 {
+			r.report(field.Pos(), "CTX01",
+				"exported %s takes context.Context at parameter %d; ctx must come first", decl.Name.Name, idx)
+			return
+		}
+		idx += width
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkMapRanges implements DET02: inside decl, every range over a map
+// whose body appends or writes must be followed (position-wise, same
+// function — "adjacent") by a sort call, otherwise map iteration order
+// leaks into output.
+func (r *ruleRunner) checkMapRanges(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	var sortPositions []token.Pos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := r.callee(call); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+					sortPositions = append(sortPositions, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := r.pkg.Info.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !r.bodyAccumulates(rng.Body) {
+			return true
+		}
+		for _, p := range sortPositions {
+			if p >= rng.Pos() {
+				return true // order is restored before the data escapes
+			}
+		}
+		r.report(rng.Pos(), "DET02",
+			"range over map feeds append/write with no adjacent sort; iteration order leaks into output")
+		return true
+	})
+}
+
+// bodyAccumulates reports whether a range body builds output whose order
+// matters: a builtin append, or a call that writes/prints/encodes.
+func (r *ruleRunner) bodyAccumulates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := r.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				found = true
+				return false
+			}
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		for _, prefix := range []string{"Write", "Fprint", "Print", "Encode"} {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,122 @@
+package main
+
+// Suppression syntax:
+//
+//	//lint:ignore RULE[,RULE...] reason
+//
+// The comment silences matching diagnostics on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// comment above the offending statement). A reason is mandatory — the
+// linter's contract is "zero unexplained suppressions" — and a suppression
+// that matches nothing is itself an error (LINT02), so stale ignores are
+// flushed out when the code they excused gets fixed.
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	Pos    token.Position
+	Rules  []string
+	Reason string
+	used   bool
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions parses every //lint:ignore comment in the package.
+// Malformed directives (no rule, or no reason) are reported as LINT01.
+func collectSuppressions(fset *token.FileSet, pkg *lintPkg) ([]*suppression, []diagnostic) {
+	var sups []*suppression
+	var diags []diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					diags = append(diags, diagnostic{
+						Pos:  pos,
+						Rule: "LINT01",
+						Msg:  "malformed lint:ignore: want `//lint:ignore RULE reason`",
+					})
+					continue
+				}
+				sups = append(sups, &suppression{
+					Pos:    pos,
+					Rules:  strings.Split(fields[0], ","),
+					Reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return sups, diags
+}
+
+// applySuppressions filters diags through sups and appends an LINT02
+// diagnostic for every suppression that silenced nothing.
+func applySuppressions(diags []diagnostic, sups []*suppression) []diagnostic {
+	var out []diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line != s.Pos.Line && d.Pos.Line != s.Pos.Line+1 {
+				continue
+			}
+			for _, r := range s.Rules {
+				if r == d.Rule {
+					s.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			out = append(out, diagnostic{
+				Pos:  s.Pos,
+				Rule: "LINT02",
+				Msg:  "lint:ignore suppresses nothing (rule " + strings.Join(s.Rules, ",") + " does not fire here): delete it",
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(diags []diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// lintPackage runs the full pipeline — rules, then suppressions — over one
+// loaded package.
+func lintPackage(fset *token.FileSet, pkg *lintPkg, cfg config) []diagnostic {
+	diags := runRules(fset, pkg, cfg)
+	sups, malformed := collectSuppressions(fset, pkg)
+	out := applySuppressions(diags, sups)
+	out = append(out, malformed...)
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,31 @@
+// Package ctx01 exercises CTX01: context parameter position and minting
+// fresh contexts inside library code.
+package ctx01
+
+import "context"
+
+// Misplaced takes ctx second; the parameter position is flagged.
+func Misplaced(name string, ctx context.Context) error { // want CTX01
+	return ctx.Err()
+}
+
+// Minted conjures its own root context inside a library.
+func Minted() error {
+	ctx := context.Background() // want CTX01
+	return ctx.Err()
+}
+
+// Todo is the other banned constructor.
+func Todo() error {
+	return context.TODO().Err() // want CTX01
+}
+
+// Good threads ctx first — clean.
+func Good(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// unexported may order parameters freely — clean.
+func unexported(name string, ctx context.Context) error {
+	return ctx.Err()
+}

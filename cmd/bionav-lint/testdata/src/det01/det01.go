@@ -1,0 +1,20 @@
+// Package det01 exercises DET01: wall-clock and PRNG use in a package
+// that is not on the determinism allowlist.
+package det01
+
+import (
+	"math/rand" // want DET01
+	"time"
+)
+
+// Delay reads the wall clock twice; both reads must be flagged.
+func Delay() time.Duration {
+	start := time.Now() // want DET01
+	_ = rand.Int()
+	return time.Since(start) // want DET01
+}
+
+// Format only mentions time types and constants — no diagnostic.
+func Format(d time.Duration) string {
+	return (d + time.Millisecond).String()
+}

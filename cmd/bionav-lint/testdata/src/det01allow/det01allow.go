@@ -1,0 +1,15 @@
+// Package det01allow is the same wall-clock code as fixture det01, but
+// loaded under an allowlisted import path: nothing may fire.
+package det01allow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Delay is clean here: the package owns pacing and may read the clock.
+func Delay() time.Duration {
+	start := time.Now()
+	_ = rand.Int()
+	return time.Since(start)
+}

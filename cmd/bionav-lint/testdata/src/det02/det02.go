@@ -1,0 +1,51 @@
+// Package det02 exercises DET02: map iteration feeding ordered output.
+package det02
+
+import (
+	"sort"
+	"strings"
+)
+
+// Leaky appends map keys and never restores order.
+func Leaky(m map[string]int) []string {
+	var out []string
+	for k := range m { // want DET02
+		out = append(out, k)
+	}
+	return out
+}
+
+// LeakyWriter streams map keys straight into a builder.
+func LeakyWriter(m map[string]int, b *strings.Builder) {
+	for k := range m { // want DET02
+		b.WriteString(k)
+	}
+}
+
+// SortedAfter restores order before the slice escapes — clean.
+func SortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceRange ranges over a slice, not a map — clean.
+func SliceRange(in []string) []string {
+	var out []string
+	for _, k := range in {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Counting ranges over a map without accumulating ordered output — clean.
+func Counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

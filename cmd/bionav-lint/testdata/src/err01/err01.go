@@ -1,0 +1,24 @@
+// Package err01 exercises ERR01: fmt.Errorf swallowing error chains.
+package err01
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Swallowed formats an error with %v: callers lose errors.Is/As.
+func Swallowed(name string) error {
+	return fmt.Errorf("load %q: %v", name, errBase) // want ERR01
+}
+
+// Wrapped uses %w — clean.
+func Wrapped(name string) error {
+	return fmt.Errorf("load %q: %w", name, errBase)
+}
+
+// NoError formats only plain values — clean.
+func NoError(name string, n int) error {
+	return fmt.Errorf("load %q: got %d rows", name, n)
+}

@@ -1,0 +1,28 @@
+// Package log01 exercises LOG01: package-global printing from library code.
+package log01
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// Chatty writes to the process's stdout and log sink directly.
+func Chatty(v int) {
+	fmt.Println("value:", v)   // want LOG01
+	log.Printf("value: %d", v) // want LOG01
+}
+
+// Fatalist owns the process exit policy it has no right to.
+func Fatalist(err error) {
+	log.Fatal(err) // want LOG01
+}
+
+// Injected uses a caller-supplied logger and writer — the sanctioned
+// alternatives; both are clean (Logger.Printf is a method, Fprintf takes
+// an explicit io.Writer... the latter is fine for LOG01, which only bans
+// the implicit-stdout fmt.Print family).
+func Injected(lg *log.Logger, w io.Writer, v int) {
+	lg.Printf("value: %d", v)
+	fmt.Fprintf(w, "value: %d\n", v)
+}

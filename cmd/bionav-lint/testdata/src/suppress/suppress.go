@@ -1,0 +1,31 @@
+// Package suppress exercises the //lint:ignore layer: a working
+// suppression, a malformed directive (LINT01), and a stale one (LINT02).
+package suppress
+
+import "fmt"
+
+// Silenced violates LOG01, but the trailing directive with a reason
+// silences it — no LOG01 may appear on this function.
+func Silenced(v int) {
+	fmt.Println("value:", v) //lint:ignore LOG01 fixture demonstrating a sanctioned suppression
+}
+
+// SilencedAbove shows the directive on the line above the violation.
+func SilencedAbove(v int) {
+	//lint:ignore LOG01 fixture demonstrating the line-above form
+	fmt.Println("value:", v)
+}
+
+// reasonless has a directive with no reason: that is LINT01 (reported on
+// the directive's own line, hence the @-1 marker), and the violation it
+// failed to suppress still fires.
+func reasonless(v int) {
+	//lint:ignore LOG01
+	fmt.Println("value:", v) // want LINT01@-1 LOG01
+}
+
+// stale suppresses a rule that does not fire on the next line: LINT02.
+func stale(v int) int {
+	//lint:ignore ERR01 nothing here returns an error // want LINT02
+	return v + 1
+}

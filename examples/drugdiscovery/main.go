@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"bionav"
 	"bionav/internal/navigate"
@@ -55,7 +56,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "policy\tEXPANDs\tconcepts examined\tnavigation cost\tavg time/EXPAND")
 	for _, pol := range policies {
-		res, err := navigate.SimulateToTarget(nav, pol, target, false)
+		res, err := navigate.SimulateToTargetClocked(nav, pol, target, false, time.Now)
 		if err != nil {
 			log.Fatalf("%s: %v", pol.Name(), err)
 		}

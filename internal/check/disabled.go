@@ -1,0 +1,20 @@
+//go:build !bionav_checks
+
+package check
+
+import (
+	"bionav/internal/core"
+	"bionav/internal/navtree"
+)
+
+// Enabled reports whether the deep-assertion hooks are compiled in.
+const Enabled = false
+
+// EdgeCut is a no-op without the bionav_checks build tag.
+func EdgeCut(*core.ActiveTree, navtree.NodeID, []core.Edge) {}
+
+// ActiveTree is a no-op without the bionav_checks build tag.
+func ActiveTree(*core.ActiveTree) {}
+
+// Model is a no-op without the bionav_checks build tag.
+func Model(core.CostModel) {}

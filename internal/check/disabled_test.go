@@ -1,0 +1,20 @@
+//go:build !bionav_checks
+
+package check_test
+
+import (
+	"testing"
+
+	"bionav/internal/check"
+	"bionav/internal/core"
+)
+
+func TestHooksAreNoOpsWhenDisabled(t *testing.T) {
+	if check.Enabled {
+		t.Fatal("built without bionav_checks but Enabled is true")
+	}
+	// The hooks must swallow even blatant violations in a default build.
+	check.EdgeCut(nil, 0, nil)
+	check.ActiveTree(nil)
+	check.Model(core.CostModel{ExpandCost: -1})
+}

@@ -1,0 +1,32 @@
+//go:build bionav_checks
+
+package check_test
+
+import (
+	"testing"
+
+	"bionav/internal/check"
+	"bionav/internal/core"
+)
+
+func TestHooksPanicWhenEnabled(t *testing.T) {
+	if !check.Enabled {
+		t.Fatal("built with bionav_checks but Enabled is false")
+	}
+	nav, at := buildActive(t, 45)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EdgeCut did not panic on an empty cut")
+		}
+	}()
+	check.EdgeCut(at, nav.Root(), nil)
+}
+
+func TestModelHookPanicsWhenEnabled(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Model did not panic on K = 0")
+		}
+	}()
+	check.Model(core.CostModel{ExpandCost: 0, Thi: 50, Tlo: 10})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"testing"
@@ -62,6 +63,9 @@ func TestMonteCarloMatchesDP(t *testing.T) {
 		model := CostModel{ExpandCost: 1, Thi: 10, Tlo: 2, UseEntropy: true, DiscountUpper: trial%2 == 1}
 		ct := randomCompTree(t, src, 2+src.Intn(6), 16)
 		o := newOptimizer(ct, model)
+		if err := o.begin(context.Background()); err != nil {
+			t.Fatal(err)
+		}
 		o.scratch = newBitset(64 * len(ct.Bits[0]))
 		want := o.best(0, ct.descMask[0]).cost
 

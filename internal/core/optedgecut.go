@@ -148,11 +148,13 @@ const dpStride = 256
 // across calls, which the CachedHeuristic policy exploits for subsequent
 // expansions of the same reduced tree (§VI-B).
 func newOptimizer(ct *compTree, model CostModel) *optimizer {
+	// ctx stays nil until begin: every entry point calls begin before the
+	// first checkpoint, and minting a Background here would hide a missed
+	// begin instead of failing fast.
 	return &optimizer{
 		ct:    ct,
 		model: model,
 		memo:  make([]memoTable, ct.len()),
-		ctx:   context.Background(), // entry points override via begin
 	}
 }
 
@@ -175,6 +177,7 @@ func (o *optimizer) borrowScratch() func() {
 // failpoint or an already-expired deadline.
 func (o *optimizer) begin(ctx context.Context) error {
 	if ctx == nil {
+		//lint:ignore CTX01 nil means "no bound": the neutral ctx is the documented coercion, minted in exactly this one spot
 		ctx = context.Background()
 	}
 	o.ctx = ctx
@@ -224,9 +227,9 @@ func optEdgeCut(ctx context.Context, ct *compTree, model CostModel) ([]int, floa
 
 // optExpectedCost evaluates the full expected TOPDOWN cost of a component
 // under optimal expansion; used by tests and ablations.
-func optExpectedCost(ct *compTree, model CostModel) (float64, error) {
+func optExpectedCost(ctx context.Context, ct *compTree, model CostModel) (float64, error) {
 	o := newOptimizer(ct, model)
-	if err := o.begin(context.Background()); err != nil {
+	if err := o.begin(ctx); err != nil {
 		return 0, err
 	}
 	release := o.borrowScratch()

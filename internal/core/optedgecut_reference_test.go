@@ -187,7 +187,7 @@ func TestChildFactoredMatchesEnumerator(t *testing.T) {
 		n := 2 + src.Intn(9)
 		ct := randomCompTree(t, src, n, 16)
 
-		gotCost, err := optExpectedCost(ct, model)
+		gotCost, err := optExpectedCost(context.Background(), ct, model)
 		if err != nil {
 			t.Fatalf("trial %d: optExpectedCost: %v", trial, err)
 		}

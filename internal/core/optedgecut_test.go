@@ -186,7 +186,7 @@ func TestOptMatchesBruteForceReference(t *testing.T) {
 		model := CostModel{ExpandCost: 1, Thi: 8, Tlo: 2, UseEntropy: true, DiscountUpper: trial%2 == 0}
 		n := 2 + src.Intn(6) // up to 7 nodes: reference is exponential²
 		ct := randomCompTree(t, src, n, 12)
-		got, err := optExpectedCost(ct, model)
+		got, err := optExpectedCost(context.Background(), ct, model)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -295,8 +295,8 @@ func TestOptCostMonotoneInExpandCost(t *testing.T) {
 		m1 := CostModel{ExpandCost: 1, Thi: 8, Tlo: 2, UseEntropy: true}
 		m2 := m1
 		m2.ExpandCost = 3
-		c1, err1 := optExpectedCost(ct, m1)
-		c2, err2 := optExpectedCost(ct, m2)
+		c1, err1 := optExpectedCost(context.Background(), ct, m1)
+		c2, err2 := optExpectedCost(context.Background(), ct, m2)
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}

@@ -66,7 +66,7 @@ func (h *HeuristicReducedOpt) ExpectedCost(at *ActiveTree, root navtree.NodeID) 
 	if err != nil {
 		return 0, err
 	}
-	return optExpectedCost(ct, h.Model)
+	return optExpectedCost(nil, ct, h.Model) // nil ctx: unbounded evaluation
 }
 
 // LastReducedSize reports the size of the reduced tree built for root
@@ -133,7 +133,7 @@ func (o *OptEdgeCutPolicy) ExpectedCost(at *ActiveTree, root navtree.NodeID) (fl
 	if err != nil {
 		return 0, err
 	}
-	return optExpectedCost(ct, o.Model)
+	return optExpectedCost(nil, ct, o.Model) // nil ctx: unbounded evaluation
 }
 
 // StaticAll is the static-navigation baseline (§VIII-A): every EXPAND

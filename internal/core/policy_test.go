@@ -167,7 +167,7 @@ func TestOptPolicyExpectedCostNotWorseThanStaticPlay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	optCost, err := optExpectedCost(ct, model)
+	optCost, err := optExpectedCost(context.Background(), ct, model)
 	if err != nil {
 		t.Fatal(err)
 	}

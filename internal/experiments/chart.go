@@ -28,7 +28,7 @@ func RenderChart(w io.Writer, t *Table, seriesCols []int) error {
 			}
 			v, err := strconv.ParseFloat(strings.TrimSuffix(cells[c], "%"), 64)
 			if err != nil {
-				return fmt.Errorf("experiments: cell %q is not numeric: %v", cells[c], err)
+				return fmt.Errorf("experiments: cell %q is not numeric: %w", cells[c], err)
 			}
 			r.values = append(r.values, v)
 			if v > maxVal {

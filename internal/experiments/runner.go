@@ -18,6 +18,11 @@ import (
 type Runner struct {
 	W *workload.Workload
 
+	// Clock times policy decisions for Fig. 10/11. Left nil (e.g. in
+	// tests) the experiments still run, with zero durations; the
+	// bionav-experiments command injects time.Now.
+	Clock navigate.Clock
+
 	navs    *navtree.Cache
 	targets map[string]navtree.NodeID
 	sims    map[string]map[string]navigate.SimResult // policy → keyword → result
@@ -71,7 +76,7 @@ func (r *Runner) simulate(q *workload.Query, policy core.Policy) (navigate.SimRe
 	if err != nil {
 		return navigate.SimResult{}, err
 	}
-	res, err := navigate.SimulateToTarget(nav, policy, target, false)
+	res, err := navigate.SimulateToTargetClocked(nav, policy, target, false, r.Clock)
 	if err != nil {
 		return navigate.SimResult{}, fmt.Errorf("%s on %q: %w", policy.Name(), q.Spec.Keyword, err)
 	}
@@ -268,11 +273,11 @@ func (r *Runner) Intro() (*Table, error) {
 			break
 		}
 	}
-	bio, err := navigate.SimulateToTargets(nav, bioNavPolicy(), targets, false)
+	bio, err := navigate.SimulateToTargetsClocked(nav, bioNavPolicy(), targets, false, r.Clock)
 	if err != nil {
 		return nil, err
 	}
-	static, err := navigate.SimulateToTargets(nav, core.StaticAll{}, targets, false)
+	static, err := navigate.SimulateToTargetsClocked(nav, core.StaticAll{}, targets, false, r.Clock)
 	if err != nil {
 		return nil, err
 	}

@@ -186,6 +186,8 @@ func Counts(name string) (hits, fires uint64) {
 func Enabled() bool { return armed.Load() != 0 }
 
 // Inject evaluates the named site with a background context.
+//
+//lint:ignore CTX01 convenience entry for ctx-free call sites; failpoint triggers never consult the ctx, only sleep actions do
 func Inject(name string) error { return InjectCtx(context.Background(), name) }
 
 // InjectCtx evaluates the named site: if it is armed and its trigger

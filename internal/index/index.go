@@ -238,7 +238,7 @@ func Decode(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: bad header %q", sc.Text())
 	}
 	if _, err := fmt.Sscanf(rest, "%d %d", &docs, &terms); err != nil {
-		return nil, fmt.Errorf("index: bad header %q: %v", sc.Text(), err)
+		return nil, fmt.Errorf("index: bad header %q: %w", sc.Text(), err)
 	}
 	if docs < 0 || terms < 0 {
 		return nil, fmt.Errorf("index: negative header counts")

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bionav/internal/check"
 	"bionav/internal/core"
 	"bionav/internal/corpus"
 	"bionav/internal/navtree"
@@ -74,6 +75,16 @@ type Session struct {
 
 // NewSession starts a navigation over nav using policy for EXPAND actions.
 func NewSession(nav *navtree.Tree, policy core.Policy) *Session {
+	if check.Enabled {
+		// Deep-assertion builds vet the policy's cost model up front —
+		// a broken model corrupts every cut the session will choose.
+		switch p := policy.(type) {
+		case *core.HeuristicReducedOpt:
+			check.Model(p.Model)
+		case *core.OptEdgeCutPolicy:
+			check.Model(p.Model)
+		}
+	}
 	return &Session{at: core.NewActiveTree(nav), policy: policy}
 }
 
@@ -93,6 +104,7 @@ func (s *Session) Log() []Action { return s.log }
 // choosing the EdgeCut with the session policy. It returns the newly
 // revealed concepts and charges 1 + len(revealed) to the cost.
 func (s *Session) Expand(node navtree.NodeID) ([]navtree.NodeID, error) {
+	//lint:ignore CTX01 compatibility wrapper: an unbounded EXPAND is the documented meaning of the ctx-free entry point
 	res, err := s.ExpandContext(context.Background(), node)
 	return res.Revealed, err
 }
@@ -134,15 +146,18 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 		res.Reason = reasonFor(ctx, err)
 		// The fallback runs without the expired ctx: StaticAll is a plain
 		// child-list walk and must not itself be cancelled.
+		//lint:ignore CTX01 degradation path must not inherit the expired deadline that triggered it
 		cut, err = core.StaticAll{}.ChooseCut(context.Background(), s.at, node)
 		if err != nil {
 			return ExpandResult{}, fmt.Errorf("navigate: degraded EXPAND fallback: %w", err)
 		}
 	}
+	check.EdgeCut(s.at, node, cut)
 	revealed, err := s.at.Expand(node, cut)
 	if err != nil {
 		return ExpandResult{}, err
 	}
+	check.ActiveTree(s.at)
 	s.cost.Expands++
 	s.cost.ConceptsRevealed += len(revealed)
 	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})

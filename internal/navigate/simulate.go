@@ -53,12 +53,26 @@ type reducedSizer interface {
 	LastReducedSize(at *core.ActiveTree, root navtree.NodeID) (int, error)
 }
 
+// Clock supplies wall-clock readings for the simulation's per-EXPAND
+// timing instrumentation. Library code never reads the wall clock itself
+// (the determinism discipline DET01 in docs/STATIC_ANALYSIS.md); callers
+// who want real timings inject time.Now from package main. A nil Clock
+// leaves every StepStat.Elapsed zero.
+type Clock func() time.Time
+
 // SimulateToTarget runs the TOPDOWN oracle user against policy until the
 // target concept is visible, then (optionally) performs SHOWRESULTS on it.
 // The maximum number of EXPANDs is bounded by the navigation-tree size; a
-// policy that fails to make progress returns an error.
+// policy that fails to make progress returns an error. Decision times are
+// not measured; use SimulateToTargetClocked for Fig. 10/11 timings.
 func SimulateToTarget(nav *navtree.Tree, policy core.Policy, target navtree.NodeID, showResults bool) (SimResult, error) {
-	return simulate(nav, policy, []navtree.NodeID{target}, showResults)
+	return simulate(nav, policy, []navtree.NodeID{target}, showResults, nil)
+}
+
+// SimulateToTargetClocked is SimulateToTarget with per-EXPAND decision
+// times measured through clock (nil clock disables timing).
+func SimulateToTargetClocked(nav *navtree.Tree, policy core.Policy, target navtree.NodeID, showResults bool, clock Clock) (SimResult, error) {
+	return simulate(nav, policy, []navtree.NodeID{target}, showResults, clock)
 }
 
 // SimulateToTargets generalizes the oracle to several target concepts —
@@ -68,13 +82,19 @@ func SimulateToTarget(nav *navtree.Tree, policy core.Policy, target navtree.Node
 // accumulates across the whole navigation. SimResult.Target reports the
 // last target; Reached is true only when every target became visible.
 func SimulateToTargets(nav *navtree.Tree, policy core.Policy, targets []navtree.NodeID, showResults bool) (SimResult, error) {
+	return SimulateToTargetsClocked(nav, policy, targets, showResults, nil)
+}
+
+// SimulateToTargetsClocked is SimulateToTargets with per-EXPAND decision
+// times measured through clock (nil clock disables timing).
+func SimulateToTargetsClocked(nav *navtree.Tree, policy core.Policy, targets []navtree.NodeID, showResults bool, clock Clock) (SimResult, error) {
 	if len(targets) == 0 {
 		return SimResult{}, fmt.Errorf("navigate: no targets")
 	}
-	return simulate(nav, policy, targets, showResults)
+	return simulate(nav, policy, targets, showResults, clock)
 }
 
-func simulate(nav *navtree.Tree, policy core.Policy, targets []navtree.NodeID, showResults bool) (SimResult, error) {
+func simulate(nav *navtree.Tree, policy core.Policy, targets []navtree.NodeID, showResults bool, clock Clock) (SimResult, error) {
 	for _, target := range targets {
 		if target <= 0 || target >= nav.Len() {
 			return SimResult{}, fmt.Errorf("navigate: target %d out of range", target)
@@ -105,9 +125,15 @@ func simulate(nav *navtree.Tree, policy core.Policy, targets []navtree.NodeID, s
 				reduced = n
 			}
 		}
-		start := time.Now()
+		var start time.Time
+		if clock != nil {
+			start = clock()
+		}
 		revealed, err := s.Expand(root)
-		elapsed := time.Since(start)
+		var elapsed time.Duration
+		if clock != nil {
+			elapsed = clock().Sub(start)
+		}
 		if err != nil {
 			return res, fmt.Errorf("navigate: simulate step %d: %w", step, err)
 		}
