@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test experiments demo clean
+.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test metrics-test experiments demo clean
 
 all: fmt vet lint test build
 
@@ -50,9 +50,18 @@ bench:
 faults-test:
 	$(GO) test -race -run '^TestFault' ./...
 
+# Observability gate: boots bionav-server against a synthetic corpus,
+# scrapes /metrics, and fails if any metric in the catalog
+# (docs/OBSERVABILITY.md) is missing; also races the obs primitives and
+# the request middleware (see docs/OBSERVABILITY.md).
+metrics-test:
+	$(GO) test -race -run 'Metrics|RequestID|Trace|Probe|Stats' ./cmd/bionav-server ./internal/server
+	$(GO) test -race ./internal/obs
+
 # Machine-readable core benchmark run, for before/after comparisons.
+# Includes the instrumentation-overhead benchmark from the repo root.
 bench-json:
-	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core > BENCH_core.json
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core . > BENCH_core.json
 
 # Regenerate every table and figure of the paper's evaluation (§VIII).
 experiments:

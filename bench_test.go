@@ -9,6 +9,7 @@
 package bionav_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"bionav/internal/experiments"
 	"bionav/internal/navigate"
 	"bionav/internal/navtree"
+	"bionav/internal/obs"
 	"bionav/internal/workload"
 )
 
@@ -283,6 +285,42 @@ func benchName(prefix string, v int) string {
 		return prefix + "=" + digits[v:v+1]
 	}
 	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+}
+
+// BenchmarkExpandInstrumented measures the observability cost of the
+// EXPAND hot path: the same full navigation once with an untraced
+// context (every span call is a nil-receiver no-op) and once under an
+// active root span recording the complete span tree. The traced vs
+// untraced delta is the instrumentation overhead docs/OBSERVABILITY.md
+// bounds at <5%.
+func BenchmarkExpandInstrumented(b *testing.B) {
+	navs := mustNavs(b)
+	np, ok := navs["prothymosin"]
+	if !ok {
+		b.Fatal("no prothymosin query")
+	}
+	run := func(b *testing.B, traced bool) {
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			var root *obs.Span
+			if traced {
+				root = obs.NewSpan("bench")
+				ctx = obs.ContextWithSpan(ctx, root)
+			}
+			s := navigate.NewSession(np.nav, core.NewHeuristicReducedOpt())
+			for steps := 0; !s.Active().IsVisible(np.target); steps++ {
+				if steps > np.nav.Len() {
+					b.Fatal("target not reached")
+				}
+				if _, err := s.ExpandContext(ctx, s.Active().ComponentOf(np.target)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			root.End()
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkBooleanQuery measures the boolean retrieval path on the

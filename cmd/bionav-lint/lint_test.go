@@ -30,6 +30,7 @@ func fixtureConfig() config {
 		det01Allow:  []string{"fix/det01allow"},
 		det02Scope:  []string{"fix/det02"},
 		ctxBanScope: []string{"fix/"},
+		log01Strict: []string{"fix/log01strict"},
 	}
 }
 
@@ -78,7 +79,7 @@ func parseWant(t *testing.T, dir string) map[string]bool {
 }
 
 func TestGoldenFixtures(t *testing.T) {
-	fixtures := []string{"det01", "det01allow", "det02", "ctx01", "log01", "err01", "suppress"}
+	fixtures := []string{"det01", "det01allow", "det02", "ctx01", "log01", "log01strict", "err01", "suppress"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)

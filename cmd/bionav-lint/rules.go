@@ -49,6 +49,11 @@ type config struct {
 	// context.TODO() is banned (library code that must thread its
 	// caller's ctx).
 	ctxBanScope []string
+	// log01Strict lists instrumented packages where even methods on an
+	// injected *log.Logger are banned: observability flows through
+	// structured slog loggers and the obs registry, and a stray
+	// Logger.Printf bypasses both.
+	log01Strict []string
 }
 
 // repoConfig is the configuration `make lint` runs with — the scopes the
@@ -56,9 +61,14 @@ type config struct {
 func repoConfig(modPath string) config {
 	p := func(s string) string { return modPath + "/" + s }
 	return config{
-		det01Allow:  []string{p("internal/rng"), p("internal/eutils"), p("internal/server")},
+		det01Allow:  []string{p("internal/rng"), p("internal/eutils"), p("internal/server"), p("internal/obs")},
 		det02Scope:  []string{p("internal/hierarchy"), p("internal/navtree"), p("internal/core")},
 		ctxBanScope: []string{p("internal/")},
+		log01Strict: []string{
+			p("internal/obs"), p("internal/server"), p("internal/core"),
+			p("internal/navtree"), p("internal/navigate"), p("internal/eutils"),
+			p("internal/store"),
+		},
 	}
 }
 
@@ -130,11 +140,34 @@ func calleeIs(fn *types.Func, pkgPath string, names ...string) bool {
 	return false
 }
 
+// isLogLoggerMethod reports whether fn is a method on log.Logger — the
+// unstructured logger the strict LOG01 scope bans in favor of slog.
+func isLogLoggerMethod(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "log" && obj.Name() == "Logger"
+}
+
 func (r *ruleRunner) file(f *ast.File) {
 	det01 := r.pkg.Name != "main" && !hasPrefixAny(r.pkg.ImportPath, r.cfg.det01Allow)
 	det02 := hasPrefixAny(r.pkg.ImportPath, r.cfg.det02Scope)
 	ctxBan := r.pkg.Name != "main" && hasPrefixAny(r.pkg.ImportPath, r.cfg.ctxBanScope)
 	log01 := r.pkg.Name != "main"
+	log01strict := log01 && hasPrefixAny(r.pkg.ImportPath, r.cfg.log01Strict)
 
 	if det01 {
 		for _, imp := range f.Imports {
@@ -162,6 +195,10 @@ func (r *ruleRunner) file(f *ast.File) {
 				calleeIs(fn, "log", "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln")) {
 				r.report(n.Pos(), "LOG01",
 					"%s.%s in library package %s (return errors or take an io.Writer)", fn.Pkg().Name(), fn.Name(), r.pkg.ImportPath)
+			}
+			if log01strict && isLogLoggerMethod(fn) {
+				r.report(n.Pos(), "LOG01",
+					"log.Logger.%s in instrumented package %s (use a *slog.Logger — see docs/OBSERVABILITY.md)", fn.Name(), r.pkg.ImportPath)
 			}
 			r.checkErrorf(n)
 		case *ast.FuncDecl:

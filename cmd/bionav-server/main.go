@@ -3,7 +3,7 @@
 // cost-optimized navigation over a BioNav database.
 //
 //	bionav-server -demo -addr :8080
-//	bionav-server -db ./db
+//	bionav-server -db ./db -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -12,7 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -20,20 +20,38 @@ import (
 	"time"
 
 	"bionav"
+	"bionav/internal/obs"
 	"bionav/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bionav-server: ")
-	handler, addr, err := build(os.Args[1:], os.Stdout)
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	app, err := build(os.Args[1:], os.Stdout, logger)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
+	}
+
+	// The debug listener carries pprof and /metrics; it is separate from
+	// the public listener so profiling endpoints bind where the operator
+	// says — typically loopback — and never leak through the API address.
+	if app.debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              app.debugAddr,
+			Handler:           app.debugHandler,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", app.debugAddr)
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.Middleware(handler, log.Default()),
+		Addr:              app.addr,
+		Handler:           server.Middleware(app.handler, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// Graceful shutdown: finish in-flight navigations on SIGINT/SIGTERM.
@@ -42,22 +60,33 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down…")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		done <- srv.Shutdown(ctx)
 	}()
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	}
 	if err := <-done; err != nil {
-		log.Fatal(err)
+		logger.Error("shutdown failed", "error", err)
+		os.Exit(1)
 	}
 }
 
-// build parses flags, loads the dataset, and returns the ready handler and
-// listen address; main only binds the socket. Split out for testing.
-func build(args []string, stdout io.Writer) (http.Handler, string, error) {
+// app is everything build prepares for main: the public handler, the
+// optional debug handler, and their listen addresses; main only binds
+// sockets. Split out for testing.
+type app struct {
+	handler      http.Handler
+	addr         string
+	debugAddr    string
+	debugHandler http.Handler
+}
+
+// build parses flags, loads the dataset, and assembles the server.
+func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 	fs := flag.NewFlagSet("bionav-server", flag.ContinueOnError)
 	var (
 		dbDir   = fs.String("db", "", "BioNav database directory (from bionav-gen)")
@@ -71,27 +100,30 @@ func build(args []string, stdout io.Writer) (http.Handler, string, error) {
 		inFlight  = fs.Int("max-inflight", 64, "concurrent API requests before shedding with 503 (negative disables)")
 		queueWait = fs.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit request waits for a slot")
 		apiTO     = fs.Duration("api-timeout", 30*time.Second, "whole-request API deadline (negative disables)")
+
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty disables)")
+		traceSample = fs.Int("trace-sample", 0, "capture and log every Nth request's span tree (0 disables)")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	var ds *bionav.Dataset
 	switch {
 	case *demo && *dbDir != "":
-		return nil, "", fmt.Errorf("-demo and -db are mutually exclusive")
+		return nil, fmt.Errorf("-demo and -db are mutually exclusive")
 	case *demo:
 		fmt.Fprintln(stdout, "generating demo dataset…")
 		ds = bionav.GenerateDemo(bionav.DemoConfig{})
 	case *dbDir != "":
 		engine, err := bionav.Open(*dbDir)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		ds = engine.Dataset()
 	default:
-		return nil, "", fmt.Errorf("pass -db <dir> or -demo")
+		return nil, fmt.Errorf("pass -db <dir> or -demo")
 	}
 
 	srv := server.New(ds, server.Config{
@@ -102,7 +134,14 @@ func build(args []string, stdout io.Writer) (http.Handler, string, error) {
 		MaxInFlight:  *inFlight,
 		QueueWait:    *queueWait,
 		APITimeout:   *apiTO,
+		Logger:       logger,
+		TraceSample:  *traceSample,
 	})
 	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s\n", ds.Tree.Len(), ds.Corpus.Len(), *addr)
-	return srv.Handler(), *addr, nil
+	return &app{
+		handler:      srv.Handler(),
+		addr:         *addr,
+		debugAddr:    *debugAddr,
+		debugHandler: obs.DebugMux(srv.Registry(), obs.Default),
+	}, nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -9,6 +11,10 @@ import (
 	"testing"
 
 	"bionav"
+
+	// Linked so their metrics are registered on obs.Default — exactly as in
+	// the real binary, where the eutils-backed tools share the process.
+	_ "bionav/internal/eutils"
 )
 
 func TestBuildServesDB(t *testing.T) {
@@ -18,14 +24,14 @@ func TestBuildServesDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	handler, addr, err := build([]string{"-db", dir, "-addr", ":0"}, &out)
+	app, err := build([]string{"-db", dir, "-addr", ":0"}, &out, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":0" {
-		t.Fatalf("addr = %q", addr)
+	if app.addr != ":0" {
+		t.Fatalf("addr = %q", app.addr)
 	}
-	ts := httptest.NewServer(handler)
+	ts := httptest.NewServer(app.handler)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/api/stats")
 	if err != nil {
@@ -42,13 +48,95 @@ func TestBuildServesDB(t *testing.T) {
 
 func TestBuildFlagValidation(t *testing.T) {
 	var out bytes.Buffer
-	if _, _, err := build(nil, &out); err == nil {
+	if _, err := build(nil, &out, nil); err == nil {
 		t.Fatal("missing -db/-demo accepted")
 	}
-	if _, _, err := build([]string{"-demo", "-db", "x"}, &out); err == nil {
+	if _, err := build([]string{"-demo", "-db", "x"}, &out, nil); err == nil {
 		t.Fatal("conflicting flags accepted")
 	}
-	if _, _, err := build([]string{"-db", "/nonexistent-xyz"}, &out); err == nil {
+	if _, err := build([]string{"-db", "/nonexistent-xyz"}, &out, nil); err == nil {
 		t.Fatal("bad db accepted")
+	}
+}
+
+// metricCatalog is the documented metric set (docs/OBSERVABILITY.md).
+// Every entry must appear on /metrics of a freshly built server; `make
+// metrics-test` runs this against a real listener in CI.
+var metricCatalog = []struct{ name, kind string }{
+	{"bionav_citation_cache_hits_total", "counter"},
+	{"bionav_citation_cache_misses_total", "counter"},
+	{"bionav_dp_aborts_total", "counter"},
+	{"bionav_dp_fold_steps_total", "counter"},
+	{"bionav_dp_memo_hits_total", "counter"},
+	{"bionav_dp_memo_misses_total", "counter"},
+	{"bionav_dp_reduced_nodes", "histogram"},
+	{"bionav_dp_scratch_gets_total", "counter"},
+	{"bionav_eutils_backoff_seconds", "histogram"},
+	{"bionav_eutils_requests_total", "counter"},
+	{"bionav_expand_degraded_total", "counter"},
+	{"bionav_expand_timeouts_total", "counter"},
+	{"bionav_http_request_seconds", "histogram"},
+	{"bionav_http_requests_total", "counter"},
+	{"bionav_navcache_evictions_total", "counter"},
+	{"bionav_navcache_hits_total", "counter"},
+	{"bionav_navcache_misses_total", "counter"},
+	{"bionav_queue_depth", "gauge"},
+	{"bionav_requests_shed_total", "counter"},
+	{"bionav_sessions_evicted_total", "counter"},
+	{"bionav_sessions_live", "gauge"},
+	{"bionav_store_load_seconds", "histogram"},
+	{"bionav_store_loads_total", "counter"},
+	{"bionav_traces_sampled_total", "counter"},
+}
+
+// TestMetricsCatalog boots the assembled server over a demo dataset and
+// verifies every cataloged metric is exposed on /metrics with its
+// documented type — the guard that keeps docs/OBSERVABILITY.md honest.
+func TestMetricsCatalog(t *testing.T) {
+	var out bytes.Buffer
+	app, err := build([]string{"-demo"}, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(app.handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	exposition := string(body)
+	for _, m := range metricCatalog {
+		if !strings.Contains(exposition, fmt.Sprintf("# TYPE %s %s\n", m.name, m.kind)) {
+			t.Errorf("metric %s (%s) missing from /metrics", m.name, m.kind)
+		}
+	}
+
+	// The debug handler exposes the same metrics next to pprof.
+	dbg := httptest.NewServer(app.debugHandler)
+	defer dbg.Close()
+	dresp, err := http.Get(dbg.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if !strings.Contains(string(dbody), "# TYPE bionav_http_requests_total counter") {
+		t.Error("debug /metrics missing server metrics")
+	}
+	presp, err := http.Get(dbg.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", presp.StatusCode)
 	}
 }

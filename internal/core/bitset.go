@@ -31,6 +31,7 @@ var scratchPool sync.Pool // holds *bitset
 // from the pool. Pair every getScratch with a putScratch once the buffer's
 // contents are no longer needed.
 func getScratch(nbits int) bitset {
+	dpScratchGets.Inc()
 	words := (nbits + 63) / 64
 	if v := scratchPool.Get(); v != nil {
 		b := *(v.(*bitset))

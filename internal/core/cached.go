@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"bionav/internal/navtree"
+	"bionav/internal/obs"
 )
 
 // CachedHeuristic implements the §VI-B remark: "once Opt-EdgeCut is
@@ -60,15 +61,20 @@ func (h *CachedHeuristic) ChooseCut(ctx context.Context, at *ActiveTree, root na
 	if h.plans == nil {
 		h.plans = make(map[navtree.NodeID]*plan)
 	}
+	sp := obs.FromContext(ctx).StartChild("choose_cut")
+	defer sp.End()
+	sp.SetAttr("policy", h.Name())
 	if p, ok := h.plans[root]; ok {
 		// Node IDs repeat across navigation trees, so a plan is only valid
 		// for the exact active tree it was computed on, and only while the
 		// component still has the size the plan's cut produced.
 		if p.at == at && p.navSize == at.ComponentSize(root) {
+			sp.SetAttr("cached_plan", true)
 			return h.cutFromPlan(ctx, p, root)
 		}
 		delete(h.plans, root) // stale: the tree changed under us
 	}
+	sp.SetAttr("cached_plan", false)
 	return h.freshCut(ctx, at, root)
 }
 
@@ -78,10 +84,11 @@ func (h *CachedHeuristic) ChooseCut(ctx context.Context, at *ActiveTree, root na
 func (h *CachedHeuristic) freshCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
 	h.Recomputes++
 	inner := &HeuristicReducedOpt{K: h.K, Model: h.Model}
-	ct, _, err := inner.reduce(at, root)
+	ct, k, err := inner.reduce(at, root)
 	if err != nil {
 		return nil, err
 	}
+	dpReducedNodes.Observe(float64(k))
 	opt := newOptimizer(ct, h.Model)
 	cutNodes, _, err := opt.cutFor(ctx, 0, ct.descMask[0])
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"math/bits"
 
 	"bionav/internal/faults"
+	"bionav/internal/obs"
 )
 
 // This file implements Opt-EdgeCut (§VI-A): the exponential dynamic program
@@ -138,6 +139,41 @@ type optimizer struct {
 	ctx   context.Context
 	steps uint64
 	err   error
+
+	// Local observability tallies, cumulative over the optimizer's life.
+	// Entry points snapshot them before the search and publish the deltas
+	// to the obs registry (and the request's trace span) once per call.
+	memoHits   uint64
+	memoMisses uint64
+}
+
+// dpSnap is the tally snapshot an entry point takes before searching.
+type dpSnap struct {
+	steps, hits, misses uint64
+}
+
+func (o *optimizer) snap() dpSnap {
+	return dpSnap{steps: o.steps, hits: o.memoHits, misses: o.memoMisses}
+}
+
+// finish publishes the tally deltas since s0 to the process metrics and
+// annotates the search's span (nil when the request is untraced). Called
+// once per entry point — the fold itself stays atomic-free.
+func (o *optimizer) finish(sp *obs.Span, s0 dpSnap) {
+	steps, hits, misses := o.steps-s0.steps, o.memoHits-s0.hits, o.memoMisses-s0.misses
+	dpFoldSteps.Add(steps)
+	dpMemoHits.Add(hits)
+	dpMemoMisses.Add(misses)
+	if o.err != nil {
+		dpAborts.Inc()
+	}
+	sp.SetAttr("fold_steps", steps)
+	sp.SetAttr("memo_hits", hits)
+	sp.SetAttr("memo_misses", misses)
+	if o.err != nil {
+		sp.SetAttr("aborted", o.err.Error())
+	}
+	sp.End()
 }
 
 // dpStride is the fold-step interval between cancellation checkpoints; a
@@ -203,9 +239,12 @@ func (o *optimizer) cutFor(ctx context.Context, r int, mask uint64) ([]int, floa
 	if err := o.begin(ctx); err != nil {
 		return nil, 0, err
 	}
+	s0 := o.snap()
+	sp := obs.FromContext(ctx).StartChild("opt_edgecut_dp")
 	release := o.borrowScratch()
 	cost, cut := o.bestCut(r, mask)
 	release()
+	o.finish(sp, s0)
 	if o.err != nil {
 		return nil, 0, o.err
 	}
@@ -232,9 +271,12 @@ func optExpectedCost(ctx context.Context, ct *compTree, model CostModel) (float6
 	if err := o.begin(ctx); err != nil {
 		return 0, err
 	}
+	s0 := o.snap()
+	sp := obs.FromContext(ctx).StartChild("opt_edgecut_dp")
 	release := o.borrowScratch()
 	v := o.best(0, ct.descMask[0])
 	release()
+	o.finish(sp, s0)
 	if o.err != nil {
 		return 0, o.err
 	}
@@ -246,8 +288,10 @@ func (o *optimizer) best(r int, mask uint64) stateVal {
 		return stateVal{}
 	}
 	if v, ok := o.memo[r].get(mask); ok {
+		o.memoHits++
 		return v
 	}
+	o.memoMisses++
 	L := o.ct.distinct(mask, o.scratch)
 	own := o.ownBuf[:0]
 	for m := mask; m != 0; m &= m - 1 {

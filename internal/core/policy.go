@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"bionav/internal/navtree"
+	"bionav/internal/obs"
 )
 
 // A Policy decides which EdgeCut an EXPAND action applies to a component.
@@ -44,14 +45,20 @@ func (h *HeuristicReducedOpt) Name() string { return "Heuristic-ReducedOpt" }
 
 // ChooseCut implements Policy.
 func (h *HeuristicReducedOpt) ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
-	ct, _, err := h.reduce(at, root)
+	sp := obs.FromContext(ctx).StartChild("choose_cut")
+	defer sp.End()
+	sp.SetAttr("policy", h.Name())
+	ct, k, err := h.reduce(at, root)
 	if err != nil {
 		return nil, err
 	}
+	dpReducedNodes.Observe(float64(k))
+	sp.SetAttr("reduced_nodes", k)
 	cutNodes, _, err := optEdgeCut(ctx, ct, h.Model)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("cut_size", len(cutNodes))
 	return mapCut(ct, cutNodes), nil
 }
 
@@ -110,6 +117,9 @@ func (o *OptEdgeCutPolicy) Name() string { return "Opt-EdgeCut" }
 
 // ChooseCut implements Policy.
 func (o *OptEdgeCutPolicy) ChooseCut(ctx context.Context, at *ActiveTree, root navtree.NodeID) ([]Edge, error) {
+	sp := obs.FromContext(ctx).StartChild("choose_cut")
+	defer sp.End()
+	sp.SetAttr("policy", o.Name())
 	members := at.Members(root)
 	if len(members) < 2 {
 		return nil, fmt.Errorf("core: %s: component %d has no internal edges", o.Name(), root)

@@ -11,10 +11,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bionav/internal/corpus"
 	"bionav/internal/hierarchy"
+	"bionav/internal/obs"
 	"bionav/internal/rng"
 )
 
@@ -44,6 +46,48 @@ type Client struct {
 	mu          sync.Mutex // guards lastRequest and jitter
 	lastRequest time.Time
 	jitter      *rng.Source // lazily seeded; full-jitter backoff draws
+
+	// Cumulative request accounting, readable while requests are in
+	// flight via Stats. Tests assert retry behavior from these counters
+	// instead of measuring wall-clock sleeps.
+	nRequests    atomic.Uint64
+	nAttempts    atomic.Uint64
+	nRetries     atomic.Uint64
+	nSuccess     atomic.Uint64
+	nFailures    atomic.Uint64
+	backoffNanos atomic.Int64
+}
+
+// ClientStats is a snapshot of a Client's cumulative request accounting.
+// Requests counts logical get calls; Attempts counts HTTP round trips
+// (Attempts − Requests = total retries when every request completes).
+type ClientStats struct {
+	Requests uint64 // logical requests issued
+	Attempts uint64 // HTTP round trips, including retries
+	Retries  uint64 // attempts that were retried after 429/5xx
+	Success  uint64 // requests that returned a 200 body
+	Failures uint64 // requests that gave up (exhausted retries, hard status, transport or ctx error)
+	Backoff  time.Duration
+}
+
+// Stats returns a point-in-time snapshot of the client's accounting.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests: c.nRequests.Load(),
+		Attempts: c.nAttempts.Load(),
+		Retries:  c.nRetries.Load(),
+		Success:  c.nSuccess.Load(),
+		Failures: c.nFailures.Load(),
+		Backoff:  time.Duration(c.backoffNanos.Load()),
+	}
+}
+
+// fail records a request-level failure and returns err unchanged.
+func (c *Client) fail(sp *obs.Span, err error) error {
+	c.nFailures.Add(1)
+	eutilsRequests.With("error").Inc()
+	sp.SetAttr("error", err.Error())
+	return err
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -131,41 +175,55 @@ func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
 // get performs one paced, retried GET and returns the body.
 func (c *Client) get(ctx context.Context, path string, params url.Values) ([]byte, error) {
 	u := strings.TrimSuffix(c.BaseURL, "/") + path + "?" + params.Encode()
+	c.nRequests.Add(1)
+	sp := obs.FromContext(ctx).StartChild("eutils.get")
+	defer sp.End()
+	sp.SetAttr("path", path)
 	for attempt := 0; ; attempt++ {
+		c.nAttempts.Add(1)
+		sp.SetAttr("attempts", attempt+1)
 		if wait := c.pace(); wait > 0 {
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, c.fail(sp, ctx.Err())
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 		if err != nil {
-			return nil, err
+			return nil, c.fail(sp, err)
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
-			return nil, fmt.Errorf("eutils: %w", err)
+			return nil, c.fail(sp, fmt.Errorf("eutils: %w", err))
 		}
 		body, readErr := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		sp.SetAttr("status", resp.StatusCode)
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			if readErr != nil {
-				return nil, fmt.Errorf("eutils: read body: %w", readErr)
+				return nil, c.fail(sp, fmt.Errorf("eutils: read body: %w", readErr))
 			}
+			c.nSuccess.Add(1)
+			eutilsRequests.With("ok").Inc()
 			return body, nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 			if attempt >= c.maxRetries() {
-				return nil, fmt.Errorf("eutils: %s after %d retries (status %d)", path, attempt, resp.StatusCode)
+				return nil, c.fail(sp, fmt.Errorf("eutils: %s after %d retries (status %d)", path, attempt, resp.StatusCode))
 			}
+			c.nRetries.Add(1)
+			eutilsRequests.With("retry").Inc()
+			delay := c.backoffDelay(attempt, resp)
+			c.backoffNanos.Add(int64(delay))
+			eutilsBackoffSeconds.Observe(delay.Seconds())
 			select {
-			case <-time.After(c.backoffDelay(attempt, resp)):
+			case <-time.After(delay):
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, c.fail(sp, ctx.Err())
 			}
 		default:
-			return nil, fmt.Errorf("eutils: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+			return nil, c.fail(sp, fmt.Errorf("eutils: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body))))
 		}
 	}
 }

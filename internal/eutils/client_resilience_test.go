@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"bionav/internal/obs"
 )
 
 // TestClientConcurrentGets hammers one paced client from many
@@ -155,5 +157,57 @@ func TestBackoffDelayFullJitter(t *testing.T) {
 	// Large attempts must clamp to maxBackoff, not overflow.
 	if d := c.backoffDelay(40, resp); d < 0 || d > maxBackoff {
 		t.Fatalf("clamped delay %v outside [0, %v]", d, maxBackoff)
+	}
+}
+
+// TestClientStatsRecorded: retry accounting is observable on the client
+// without measuring wall-clock sleeps. The server's Retry-After: 0 keeps
+// the backoff instantaneous, so the test asserts counts, not timing.
+func TestClientStatsRecorded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	root := obs.NewSpan("test")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := c.get(ctx, "/x", url.Values{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	want := ClientStats{Requests: 1, Attempts: 3, Retries: 2, Success: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+
+	// The get left a span behind with attempt accounting.
+	root.End()
+	sum := root.Summary()
+	if len(sum.Children) != 1 || sum.Children[0].Name != "eutils.get" {
+		t.Fatalf("span children = %+v, want one eutils.get", sum.Children)
+	}
+	attrs := sum.Children[0].Attrs
+	if attrs["attempts"] != int64(3) || attrs["status"] != int64(200) {
+		t.Fatalf("span attrs = %+v", attrs)
+	}
+
+	// A request that exhausts retries counts one failure, not one per
+	// attempt.
+	calls.Store(-100) // keep the server in 429 mode for the whole request
+	c2 := &Client{BaseURL: ts.URL, MaxRetries: 2}
+	if _, err := c2.get(context.Background(), "/x", url.Values{}); err == nil {
+		t.Fatal("expected exhausted retries to fail")
+	}
+	st2 := c2.Stats()
+	want2 := ClientStats{Requests: 1, Attempts: 3, Retries: 2, Failures: 1}
+	if st2 != want2 {
+		t.Fatalf("exhausted stats = %+v, want %+v", st2, want2)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"bionav/internal/core"
 	"bionav/internal/corpus"
 	"bionav/internal/navtree"
+	"bionav/internal/obs"
 )
 
 // ActionKind enumerates the user actions of the navigation model.
@@ -136,6 +137,10 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 	if node < 0 || node >= s.at.Nav().Len() {
 		return ExpandResult{}, fmt.Errorf("navigate: EXPAND on unknown node %d", node)
 	}
+	var sp *obs.Span
+	ctx, sp = obs.StartChild(ctx, "expand")
+	defer sp.End()
+	sp.SetAttr("node", int64(node))
 	var res ExpandResult
 	cut, err := s.policy.ChooseCut(ctx, s.at, node)
 	if err != nil {
@@ -162,6 +167,11 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 	s.cost.ConceptsRevealed += len(revealed)
 	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})
 	res.Revealed = revealed
+	sp.SetAttr("revealed", len(revealed))
+	if res.Degraded {
+		sp.SetAttr("degraded", true)
+		sp.SetAttr("reason", res.Reason)
+	}
 	return res, nil
 }
 

@@ -65,14 +65,17 @@ func (c *Cache) Get(key string) (*Tree, bool) {
 	defer c.mu.Unlock()
 	if faults.Inject(faults.SiteNavCacheGet) != nil {
 		c.misses++
+		navCacheMisses.Inc()
 		return nil, false
 	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		navCacheMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	navCacheHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).tree, true
 }
@@ -93,6 +96,7 @@ func (c *Cache) Add(key string, t *Tree) {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.items, el.Value.(*cacheEntry).key)
+		navCacheEvictions.Inc()
 	}
 }
 

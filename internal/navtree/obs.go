@@ -1,0 +1,16 @@
+package navtree
+
+import "bionav/internal/obs"
+
+// Process-wide navigation-tree cache metrics on the default registry
+// (docs/OBSERVABILITY.md catalogs them). The Cache also keeps its own
+// hits/misses fields because tests and /api/stats read per-instance
+// numbers; these counters are the cross-instance operational view.
+var (
+	navCacheHits = obs.Default.Counter("bionav_navcache_hits_total",
+		"Navigation-tree cache lookups served from memory.")
+	navCacheMisses = obs.Default.Counter("bionav_navcache_misses_total",
+		"Navigation-tree cache lookups that missed (including forced fault-injection misses).")
+	navCacheEvictions = obs.Default.Counter("bionav_navcache_evictions_total",
+		"Navigation trees evicted by LRU capacity pressure.")
+)

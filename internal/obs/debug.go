@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the opt-in debug handler bionav-server serves on a
+// separate listener (-debug-addr): the net/http/pprof suite under
+// /debug/pprof/ plus a /metrics exposition of the given registries. It is
+// kept off the public listener so profiling endpoints are reachable only
+// where the operator binds them.
+func DebugMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", MetricsHandler(regs...))
+	return mux
+}

@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a JSON slog logger writing to w at the given level —
+// the structured replacement for the ad-hoc *log.Logger access log. One
+// request becomes one line with route/status/latency/request-id fields
+// (see internal/server's observe middleware).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}

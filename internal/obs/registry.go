@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry. Package-level instrumentation
+// (core's DP counters, the navigation-tree cache, the eutils client, the
+// store loader) registers here from variable initializers; the server
+// merges Default into its /metrics output.
+var Default = NewRegistry()
+
+// Registry holds metric families. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// family is one named metric with a fixed label schema and one series per
+// distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]any // joined label values → *Counter | *Gauge | *Histogram
+	fn     func() float64 // kindGaugeFunc
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// lookup returns the family, creating it on first use. A second
+// registration with a different type or label schema panics: two call
+// sites disagree about what the metric is.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Names returns the registered family names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seriesKey joins label values with a separator that cannot appear in a
+// (escaped) label value boundary ambiguity: 0xff never starts a UTF-8 rune.
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+// with returns the series for the label values, creating it with mk.
+func (f *family) with(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	return s
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// --- Gauge ---
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	return f.with(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering replaces the callback (the newest instance wins).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, kindGaugeFunc, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// --- Histogram ---
+
+// Histogram counts observations into fixed buckets. Observation of a
+// value equal to an upper bound lands in that bucket (Prometheus `le`
+// semantics).
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; the extra slot is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets are not ascending", name))
+	}
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+// DefBuckets are latency-shaped default buckets, in seconds.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns count buckets: start, start+width, …
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count buckets: start, start·factor, …
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Time starts a latency measurement; the returned stop function observes
+// the elapsed seconds into h. Callers outside the wall-clock allowlist use
+// it instead of touching time directly.
+func Time(h *Histogram) func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// --- exposition ---
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sorted by
+// name, series sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r)
+}
+
+// WritePrometheus renders several registries merged into one exposition.
+// When two registries register the same family name, the earliest registry
+// in regs wins (later duplicates are skipped rather than double-reported).
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	var names []string
+	byName := make(map[string]*family)
+	for _, r := range regs {
+		r.mu.RLock()
+		for name, f := range r.families {
+			if _, dup := byName[name]; !dup {
+				byName[name] = f
+				names = append(names, name)
+			}
+		}
+		r.mu.RUnlock()
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		byName[name].write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.kind == kindGaugeFunc {
+		v := 0.0
+		if f.fn != nil {
+			v = f.fn()
+		}
+		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(v))
+		return
+	}
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		values := splitSeriesKey(key, len(f.labels))
+		switch s := f.series[key].(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(f.labels, values, "", ""), s.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(f.labels, values, "", ""), s.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for i, bound := range s.upper {
+				cum += s.counts[i].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					renderLabels(f.labels, values, "le", formatFloat(bound)), cum)
+			}
+			cum += s.counts[len(s.upper)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				renderLabels(f.labels, values, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+				renderLabels(f.labels, values, "", ""), formatFloat(s.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+				renderLabels(f.labels, values, "", ""), s.Count())
+		}
+	}
+}
+
+func splitSeriesKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\xff", n)
+}
+
+// renderLabels formats {k="v",…}, appending an extra pair (for histogram
+// le) when extraKey is non-empty. Empty label sets render as nothing.
+func renderLabels(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// formatFloat renders a sample value: integral floats without an
+// exponent, everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler returns an http.Handler serving the merged registries in
+// text exposition format.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, regs...)
+	})
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact /metrics rendering: family order,
+// series order, HELP/TYPE lines, histogram cumulative buckets, label
+// escaping. Deterministic output is the contract that makes the endpoint
+// testable at all.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("test_requests_total", "Total requests.", "route", "code")
+	c.With("/api/expand", "200").Add(4)
+	c.With("/api/expand", "503").Add(1)
+	c.With("/api/query", "200").Add(2)
+	g := r.Gauge("test_sessions_live", "Live sessions.")
+	g.Set(3)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.25, 1})
+	h.Observe(0.125)
+	h.Observe(0.25) // boundary: lands in le="0.25"
+	h.Observe(0.5)
+	h.Observe(2)
+	e := r.Counter("test_weird_total", `needs "escaping"`+"\nand newlines")
+	_ = e
+	r.GaugeFunc("test_queue_depth", "Computed at scrape time.", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.25"} 2
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 2.875
+test_latency_seconds_count 4
+# HELP test_queue_depth Computed at scrape time.
+# TYPE test_queue_depth gauge
+test_queue_depth 7
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{route="/api/expand",code="200"} 4
+test_requests_total{route="/api/expand",code="503"} 1
+test_requests_total{route="/api/query",code="200"} 2
+# HELP test_sessions_live Live sessions.
+# TYPE test_sessions_live gauge
+test_sessions_live 3
+# HELP test_weird_total needs "escaping"\nand newlines
+# TYPE test_weird_total counter
+test_weird_total 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets pins the le-inclusive boundary rule: an
+// observation equal to a bucket's upper bound counts into that bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	// Raw (non-cumulative) slots: (-inf,1]=2, (1,2]=2, (2,5]=1, (5,inf)=2.
+	wantRaw := []uint64{2, 2, 1, 2}
+	for i, w := range wantRaw {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 114.6; got < want-1e-6 || got > want+1e-6 {
+		t.Errorf("sum = %v, want ≈%v", got, want)
+	}
+}
+
+// TestConcurrentIncrements hammers a counter, gauge, and histogram from
+// many goroutines; under -race this proves the registry's hot paths are
+// properly synchronized, and the totals prove no increment is lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t")
+	g := r.Gauge("test_gauge", "t")
+	h := r.Histogram("test_hist", "t", []float64{0.5})
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), 0.25*workers*per; got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+// TestGetOrCreate: re-registering a name returns the same metric;
+// changing its shape panics.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "t")
+	b := r.Counter("test_total", "different help is fine")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliases do not share state")
+	}
+	assertPanics(t, "kind mismatch", func() { r.Gauge("test_total", "t") })
+	assertPanics(t, "label mismatch", func() { r.CounterVec("test_total", "t", "route") })
+	assertPanics(t, "bad name", func() { r.Counter("bad name", "t") })
+	assertPanics(t, "bad label", func() { r.CounterVec("test_other", "t", "bad label") })
+	assertPanics(t, "arity", func() { r.CounterVec("test_v", "t", "a", "b").With("only-one") })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestBucketHelpers covers the two generator shapes.
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(2, 2, 4)
+	if want := []float64{2, 4, 6, 8}; !equalF(lin, want) {
+		t.Errorf("LinearBuckets = %v, want %v", lin, want)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !equalF(exp, want) {
+		t.Errorf("ExponentialBuckets = %v, want %v", exp, want)
+	}
+}
+
+func equalF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergedExposition: the server merges its registry with Default; the
+// first registry wins family-name collisions and the output stays sorted.
+func TestMergedExposition(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("test_a_total", "t").Inc()
+	a.Counter("test_shared_total", "t").Add(5)
+	b.Counter("test_b_total", "t").Inc()
+	b.Counter("test_shared_total", "t").Add(99) // loses: a comes first
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test_a_total 1", "test_b_total 1", "test_shared_total 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "test_shared_total 99") {
+		t.Errorf("duplicate family leaked from second registry:\n%s", out)
+	}
+	if strings.Index(out, "test_a_total") > strings.Index(out, "test_b_total") {
+		t.Errorf("merged families not sorted:\n%s", out)
+	}
+}

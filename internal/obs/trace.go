@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed node of a request's trace tree. Spans are created
+// started; End freezes the duration. All methods are nil-safe so
+// instrumented code can call through unconditionally — a nil span is the
+// "tracing off" fast path.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// NewSpan starts a root span. Attach it to a context with ContextWithSpan
+// to enable tracing downstream.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts a child span. Nil-safe: a nil parent returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Nil-safe. A repeated key overrides the
+// earlier value in the summary.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Duration returns the frozen duration, or the running time of an
+// unfinished span. Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanSummary is the JSON-ready rendering of a span tree, attached to API
+// responses under ?debug=trace and to sampled trace log lines.
+type SpanSummary struct {
+	Name     string         `json:"name"`
+	Micros   int64          `json:"us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanSummary `json:"children,omitempty"`
+}
+
+// Summary snapshots the span tree. Nil-safe: a nil span yields nil.
+// encoding/json renders Attrs with sorted keys, so summaries of equal
+// trees marshal identically (durations aside).
+func (s *Span) Summary() *SpanSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := &SpanSummary{Name: s.name, Micros: s.dur.Microseconds()}
+	if !s.ended {
+		out.Micros = time.Since(s.start).Microseconds()
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = normalizeAttr(a.Value)
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.Summary())
+	}
+	return out
+}
+
+// normalizeAttr keeps summaries JSON-friendly and stable across types.
+func normalizeAttr(v any) any {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.String()
+	case int:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return v
+	}
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the request is not
+// being traced.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartChild starts a child of the context's current span and returns a
+// context carrying the child. On an untraced context it returns (ctx,
+// nil) without allocating — the no-op fast path.
+func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// idSeq distinguishes ids minted by this process; idEpoch distinguishes
+// processes.
+var (
+	idSeq   atomic.Uint64
+	idEpoch = time.Now().UnixNano()
+)
+
+// NewID mints a process-unique id ("r" for requests, "t" for traces, …).
+func NewID(prefix string) string {
+	return fmt.Sprintf("%s%08x-%06x", prefix, uint32(idEpoch>>10), idSeq.Add(1))
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsNoop: every method on a nil span (the tracing-off path)
+// must be safe and free of allocated state.
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", 1)
+	s.End()
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.Summary() != nil {
+		t.Fatal("nil span produced a summary")
+	}
+	if s.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	ctx := context.Background()
+	ctx2, sp := StartChild(ctx, "x")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartChild on an untraced context is not a no-op")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext invented a span")
+	}
+}
+
+// TestSpanTree builds a small trace through the context API and checks
+// the summary's structure, attrs, and nesting.
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("GET /api/expand")
+	root.SetAttr("request_id", "r1")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	ctx2, expand := StartChild(ctx, "expand")
+	if expand == nil {
+		t.Fatal("traced context produced no child")
+	}
+	expand.SetAttr("node", 7)
+	_, dp := StartChild(ctx2, "opt_edgecut_dp")
+	dp.SetAttr("fold_steps", uint64(42))
+	dp.SetAttr("dur", 3*time.Millisecond)
+	dp.End()
+	expand.End()
+	root.End()
+
+	sum := root.Summary()
+	if sum.Name != "GET /api/expand" || sum.Attrs["request_id"] != "r1" {
+		t.Fatalf("root summary = %+v", sum)
+	}
+	if len(sum.Children) != 1 || sum.Children[0].Name != "expand" {
+		t.Fatalf("children = %+v", sum.Children)
+	}
+	ex := sum.Children[0]
+	if ex.Attrs["node"] != int64(7) {
+		t.Fatalf("node attr = %#v (int must normalize to int64)", ex.Attrs["node"])
+	}
+	if len(ex.Children) != 1 || ex.Children[0].Attrs["fold_steps"] != int64(42) {
+		t.Fatalf("dp child = %+v", ex.Children)
+	}
+	if ex.Children[0].Attrs["dur"] != "3ms" {
+		t.Fatalf("duration attr = %#v, want rendered string", ex.Children[0].Attrs["dur"])
+	}
+	// JSON rendering is deterministic (map keys sort) and carries `us`.
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"name":"opt_edgecut_dp"`) || !strings.Contains(string(b), `"us":`) {
+		t.Fatalf("summary JSON = %s", b)
+	}
+}
+
+// TestSpanConcurrentChildren: concurrent StartChild/SetAttr on one span
+// must be race-free (run under -race).
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.StartChild("c")
+				c.SetAttr("j", j)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Summary().Children); got != 800 {
+		t.Fatalf("children = %d, want 800", got)
+	}
+}
+
+// TestEndIdempotent: a second End must not stretch the duration.
+func TestEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatalf("duration moved after second End: %v → %v", d, s.Duration())
+	}
+}
+
+// TestNewID: ids are unique and prefixed.
+func TestNewID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID("r")
+		if !strings.HasPrefix(id, "r") || seen[id] {
+			t.Fatalf("bad or duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -2,40 +2,136 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"bionav/internal/obs"
 )
 
-// Middleware wraps the BioNav handler with the production concerns the
-// bare mux omits: per-request access logging and panic recovery that
-// converts a crashed handler into a JSON 500 instead of a dropped
-// connection. Logger may be nil to disable access logs.
-func Middleware(next http.Handler, logger *log.Logger) http.Handler {
+// Middleware wraps the BioNav handler with panic recovery: a crashed
+// handler becomes a JSON 500 instead of a dropped connection, and the
+// panic is logged with its stack. Logger may be nil to drop the log.
+// Request access logging lives in the observe middleware inside
+// Server.Handler, which has the server's registry and config in scope.
+func Middleware(next http.Handler, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
 				if logger != nil {
-					logger.Printf("panic %v serving %s %s\n%s", p, r.Method, r.URL.Path, debug.Stack())
+					logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+						slog.Any("panic", p),
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.String("stack", string(debug.Stack())))
 				}
 				// The handler may have written nothing yet; try to emit a
 				// JSON error (WriteHeader is a no-op if already sent).
 				httpError(rec, http.StatusInternalServerError,
 					fmt.Errorf("internal error"))
 			}
-			if logger != nil {
-				logger.Printf("%s %s → %d (%v)", r.Method, r.URL.RequestURI(), rec.status,
-					time.Since(start).Round(time.Microsecond))
-			}
 		}()
 		next.ServeHTTP(rec, r)
+	})
+}
+
+// reqMeta is per-request state shared between the observe middleware and
+// the handlers: the request id, and flags handlers raise for the final
+// log line.
+type reqMeta struct {
+	id       string
+	degraded bool // set by handleExpand under its own response path
+}
+
+type reqMetaKey struct{}
+
+// RequestIDFrom returns the request id the observe middleware assigned,
+// or "" outside an observed request.
+func RequestIDFrom(ctx context.Context) string {
+	if m, ok := ctx.Value(reqMetaKey{}).(*reqMeta); ok {
+		return m.id
+	}
+	return ""
+}
+
+// markDegraded flags the in-flight request as degraded for its log line.
+// The flag is written before the response is sent and read after, on the
+// same goroutine chain, so a plain bool suffices.
+func markDegraded(ctx context.Context) {
+	if m, ok := ctx.Value(reqMetaKey{}).(*reqMeta); ok {
+		m.degraded = true
+	}
+}
+
+// observe is the outermost per-request middleware: it assigns (or adopts)
+// a request id, records the route/status/latency metrics, emits one
+// structured log line per request, and — for ?debug=trace requests or
+// every TraceSample'th request — roots a span tree in the context so the
+// EXPAND hot path traces itself.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		meta := &reqMeta{id: r.Header.Get("X-Request-ID")}
+		if meta.id == "" {
+			meta.id = obs.NewID("r")
+		}
+		w.Header().Set("X-Request-ID", meta.id)
+		ctx := context.WithValue(r.Context(), reqMetaKey{}, meta)
+
+		var root *obs.Span
+		var traceID string
+		sampled := s.cfg.TraceSample > 0 && s.reqSeq.Add(1)%uint64(s.cfg.TraceSample) == 0
+		if sampled || r.URL.Query().Get("debug") == "trace" {
+			root = obs.NewSpan(r.Method + " " + r.URL.Path)
+			traceID = obs.NewID("t")
+			root.SetAttr("request_id", meta.id)
+			root.SetAttr("trace_id", traceID)
+			ctx = obs.ContextWithSpan(ctx, root)
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		root.End()
+
+		elapsed := time.Since(start)
+		route := routeLabel(r)
+		s.met.requests.With(route, strconv.Itoa(rec.status)).Inc()
+		s.met.latency.With(route).Observe(elapsed.Seconds())
+
+		if s.cfg.Logger != nil {
+			attrs := []slog.Attr{
+				slog.String("request_id", meta.id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("latency", elapsed),
+			}
+			if meta.degraded {
+				attrs = append(attrs, slog.Bool("degraded", true))
+			}
+			if traceID != "" {
+				attrs = append(attrs, slog.String("trace_id", traceID))
+			}
+			s.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+		}
+		if sampled {
+			s.met.traces.Inc()
+			if s.cfg.Logger != nil {
+				if b, err := json.Marshal(root.Summary()); err == nil {
+					s.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "trace",
+						slog.String("trace_id", traceID),
+						slog.String("spans", string(b)))
+				}
+			}
+		}
 	})
 }
 
@@ -63,7 +159,7 @@ func (s *Server) limitInFlight(next http.Handler) http.Handler {
 			select {
 			case s.sem <- struct{}{}:
 			case <-timer.C:
-				s.met.shedRequests.Add(1)
+				s.met.shed.Inc()
 				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 				httpError(w, http.StatusServiceUnavailable, errOverloaded)
 				return

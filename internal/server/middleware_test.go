@@ -3,40 +3,17 @@ package server
 import (
 	"bytes"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"bionav/internal/obs"
 )
-
-func TestMiddlewareLogsRequests(t *testing.T) {
-	var buf bytes.Buffer
-	logger := log.New(&buf, "", 0)
-	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusTeapot)
-		io.WriteString(w, "short and stout")
-	}), logger)
-	ts := httptest.NewServer(h)
-	defer ts.Close()
-
-	resp, err := http.Get(ts.URL + "/teapot?x=1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusTeapot {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	logLine := buf.String()
-	if !strings.Contains(logLine, "GET /teapot?x=1 → 418") {
-		t.Fatalf("access log = %q", logLine)
-	}
-}
 
 func TestMiddlewareRecoversPanics(t *testing.T) {
 	var buf bytes.Buffer
-	logger := log.New(&buf, "", 0)
+	logger := obs.NewLogger(&buf, nil)
 	h := Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	}), logger)
@@ -55,8 +32,12 @@ func TestMiddlewareRecoversPanics(t *testing.T) {
 	if !strings.Contains(string(body), "internal error") {
 		t.Fatalf("body = %q", body)
 	}
-	if !strings.Contains(buf.String(), "panic kaboom") {
-		t.Fatalf("log = %q", buf.String())
+	logLine := buf.String()
+	if !strings.Contains(logLine, `"msg":"panic"`) || !strings.Contains(logLine, "kaboom") {
+		t.Fatalf("log = %q", logLine)
+	}
+	if !strings.Contains(logLine, `"path":"/boom"`) {
+		t.Fatalf("log missing path: %q", logLine)
 	}
 }
 

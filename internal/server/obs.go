@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http"
+
+	"bionav/internal/obs"
+)
+
+// serverMetrics holds the per-Server instrument handles. They live on the
+// Server's own registry — not obs.Default — so every Server instance
+// (tests routinely run several per process) scrapes its own counts;
+// GET /metrics merges this registry with the process-wide default one.
+type serverMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec   // by route and status code
+	latency  *obs.HistogramVec // by route
+	degraded *obs.Counter
+	shed     *obs.Counter
+	timeouts *obs.Counter
+	evicted  *obs.Counter
+	traces   *obs.Counter
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		requests: r.CounterVec("bionav_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: r.HistogramVec("bionav_http_request_seconds",
+			"HTTP request latency, by route.", obs.DefBuckets, "route"),
+		degraded: r.Counter("bionav_expand_degraded_total",
+			"EXPANDs that fell back to the static all-children cut."),
+		shed: r.Counter("bionav_requests_shed_total",
+			"Requests refused with 503 + Retry-After by overload control."),
+		timeouts: r.Counter("bionav_expand_timeouts_total",
+			"Degraded EXPANDs caused by the optimization budget deadline."),
+		evicted: r.Counter("bionav_sessions_evicted_total",
+			"Sessions dropped by TTL expiry or LRU capacity pressure."),
+		traces: r.Counter("bionav_traces_sampled_total",
+			"Request traces captured by the TraceSample sampler."),
+	}
+	r.GaugeFunc("bionav_sessions_live",
+		"Navigation sessions currently registered.", func() float64 {
+			s.mu.Lock()
+			n := len(s.sessions)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	r.GaugeFunc("bionav_queue_depth",
+		"In-flight /api/ requests holding an overload-control slot.", func() float64 {
+			if s.sem == nil {
+				return 0
+			}
+			return float64(len(s.sem))
+		})
+	return m
+}
+
+// Registry exposes the server's own metric registry, e.g. to mount on a
+// debug listener alongside obs.Default.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
+
+// routeLabel maps a request path to a fixed label set so metric
+// cardinality stays bounded no matter what paths clients probe.
+var knownRoutes = map[string]bool{
+	"/":              true,
+	"/healthz":       true,
+	"/readyz":        true,
+	"/metrics":       true,
+	"/api/query":     true,
+	"/api/expand":    true,
+	"/api/backtrack": true,
+	"/api/results":   true,
+	"/api/export":    true,
+	"/api/import":    true,
+	"/api/stats":     true,
+}
+
+func routeLabel(r *http.Request) string {
+	if knownRoutes[r.URL.Path] {
+		return r.URL.Path
+	}
+	return "other"
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"bionav/internal/core"
 	"bionav/internal/navigate"
 	"bionav/internal/navtree"
+	"bionav/internal/obs"
 	"bionav/internal/rank"
 	"bionav/internal/store"
 )
@@ -53,6 +55,10 @@ type Config struct {
 	QueueWait    time.Duration // how long an over-limit request waits for a slot (default 100ms)
 	RetryAfter   time.Duration // Retry-After hint on shed requests (default 1s)
 	APITimeout   time.Duration // whole-request deadline for /api/ (default 30s; negative disables)
+
+	// Observability knobs — see docs/OBSERVABILITY.md.
+	Logger      *slog.Logger // one structured line per request; nil disables
+	TraceSample int          // capture every Nth request's span tree and log it (0 disables)
 }
 
 func (c *Config) fill() {
@@ -85,13 +91,6 @@ func (c *Config) fill() {
 	}
 }
 
-// metrics are the resilience counters surfaced by /api/stats.
-type metrics struct {
-	degradedExpands atomic.Uint64 // EXPANDs that fell back to the static cut
-	shedRequests    atomic.Uint64 // requests refused with 503 + Retry-After
-	expandTimeouts  atomic.Uint64 // degraded EXPANDs caused by the budget deadline
-}
-
 // Server serves the BioNav API over one dataset. Safe for concurrent use.
 type Server struct {
 	ds       *store.Dataset
@@ -99,7 +98,8 @@ type Server struct {
 	scorer   *rank.Scorer
 	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions
 	sem      chan struct{}  // in-flight /api/ slots; nil when shedding disabled
-	met      metrics
+	met      *serverMetrics // per-instance registry; /api/stats reads through it
+	reqSeq   atomic.Uint64  // request counter driving the trace sampler
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -131,6 +131,7 @@ func New(ds *store.Dataset, cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
+	s.met = newServerMetrics(s)
 	return s
 }
 
@@ -138,17 +139,22 @@ func New(ds *store.Dataset, cfg Config) *Server {
 // repeat queries from the LRU cache. The cache key is the normalized query;
 // the search itself also runs on the normal form, so equal keys are
 // guaranteed equal results and the cached tree is exact.
-func (s *Server) navTreeFor(keywords string) (*navtree.Tree, error) {
+func (s *Server) navTreeFor(ctx context.Context, keywords string) (*navtree.Tree, error) {
+	sp := obs.FromContext(ctx).StartChild("nav_tree")
+	defer sp.End()
 	key := navtree.NormalizeQuery(keywords)
 	if s.navCache != nil {
 		if nav, ok := s.navCache.Get(key); ok {
+			sp.SetAttr("cache", "hit")
 			return nav, nil
 		}
 	}
+	sp.SetAttr("cache", "miss")
 	results := s.ds.Index.SearchQuery(key)
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no citations match %q", keywords)
 	}
+	sp.SetAttr("results", len(results))
 	nav := navtree.Build(s.ds.Corpus, results)
 	if s.navCache != nil {
 		s.navCache.Add(key, nav)
@@ -157,9 +163,11 @@ func (s *Server) navTreeFor(keywords string) (*navtree.Tree, error) {
 }
 
 // Handler returns the HTTP handler: the HTML UI at "/", the JSON API under
-// "/api/", and the probe endpoints /healthz and /readyz. API routes sit
-// behind the overload/timeout middleware stack; probes deliberately do
-// not, so they answer even when the API is saturated.
+// "/api/", the Prometheus exposition at /metrics, and the probe endpoints
+// /healthz and /readyz. API routes sit behind the overload/timeout
+// middleware stack; probes and metrics deliberately do not, so they answer
+// even when the API is saturated. The whole mux sits inside the observe
+// middleware (request id, metrics, structured log line, optional tracing).
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /api/query", s.handleQuery)
@@ -174,18 +182,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.met.reg, obs.Default))
 	mux.Handle("/api/", s.limitInFlight(withTimeout(s.cfg.APITimeout, api)))
-	return mux
+	return s.observe(mux)
+}
+
+// probeHeaders marks probe responses uncacheable: a proxy replaying a
+// stale 200 would defeat the readiness signal entirely.
+func probeHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-cache, no-store, max-age=0")
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	probeHeaders(w)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is the readiness probe: 503 while every in-flight slot is
 // taken, so a load balancer stops routing here before requests get shed.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	probeHeaders(w)
 	if s.sem != nil && len(s.sem) == cap(s.sem) {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
@@ -220,6 +238,9 @@ type stateResponse struct {
 	// carries the context error ("context deadline exceeded", …).
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// Trace is the request's span tree, attached when the client asked
+	// for it with ?debug=trace.
+	Trace *obs.SpanSummary `json:"trace,omitempty"`
 }
 
 type costView struct {
@@ -251,7 +272,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	nav, err := s.navTreeFor(req.Keywords)
+	nav, err := s.navTreeFor(r.Context(), req.Keywords)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -292,12 +313,16 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
 	if res.Degraded {
-		s.met.degradedExpands.Add(1)
+		s.met.degraded.Inc()
+		markDegraded(ctx)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.met.expandTimeouts.Add(1)
+			s.met.timeouts.Inc()
 		}
 		resp.Degraded = true
 		resp.DegradedReason = res.Reason
+	}
+	if r.URL.Query().Get("debug") == "trace" {
+		resp.Trace = obs.FromContext(ctx).Summary()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -388,7 +413,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	nav, err := s.navTreeFor(req.Keywords)
+	nav, err := s.navTreeFor(r.Context(), req.Keywords)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -403,18 +428,28 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	s.writeState(w, id)
 }
 
+// handleStats is a JSON read-through view over the server's metric
+// registry (plus dataset constants); /metrics is the canonical exposition
+// of the same counters.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	active := len(s.sessions)
 	s.mu.Unlock()
+	queueDepth := 0
+	if s.sem != nil {
+		queueDepth = len(s.sem)
+	}
 	stats := map[string]any{
 		"concepts":        s.ds.Tree.Len(),
 		"citations":       s.ds.Corpus.Len(),
 		"terms":           s.ds.Index.Terms(),
 		"sessions":        active,
-		"degradedExpands": s.met.degradedExpands.Load(),
-		"shedRequests":    s.met.shedRequests.Load(),
-		"expandTimeouts":  s.met.expandTimeouts.Load(),
+		"sessions_live":   active,
+		"queue_depth":     queueDepth,
+		"degradedExpands": s.met.degraded.Value(),
+		"shedRequests":    s.met.shed.Value(),
+		"expandTimeouts":  s.met.timeouts.Value(),
+		"sessionsEvicted": s.met.evicted.Value(),
 	}
 	if s.navCache != nil {
 		hits, misses := s.navCache.Stats()
@@ -448,6 +483,7 @@ func (s *Server) lookup(id string) (*session, error) {
 	}
 	if time.Since(sess.lastUsed) > s.cfg.SessionTTL {
 		delete(s.sessions, id)
+		s.met.evicted.Inc()
 		return nil, errNoSession
 	}
 	sess.lastUsed = time.Now()
@@ -461,6 +497,7 @@ func (s *Server) evictLocked() {
 	for id, sess := range s.sessions {
 		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
+			s.met.evicted.Inc()
 		}
 	}
 	for len(s.sessions) > s.cfg.MaxSessions {
@@ -472,6 +509,7 @@ func (s *Server) evictLocked() {
 			}
 		}
 		delete(s.sessions, oldestID)
+		s.met.evicted.Inc()
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"bionav/internal/faults"
 	"bionav/internal/hierarchy"
 	"bionav/internal/index"
+	"bionav/internal/obs"
 )
 
 // Dataset bundles everything BioNav's on-line subsystem needs: the concept
@@ -96,7 +97,15 @@ func (ds *Dataset) save(w *Writer) error {
 // faults.SiteStoreLoad failpoint fires before any file is opened, so an
 // injected failure exercises the caller's error path without touching
 // state.
-func LoadDataset(dir string) (*Dataset, error) {
+func LoadDataset(dir string) (ds *Dataset, err error) {
+	defer obs.Time(storeLoadSeconds)()
+	defer func() {
+		if err != nil {
+			storeLoads.With("error").Inc()
+		} else {
+			storeLoads.With("ok").Inc()
+		}
+	}()
 	if err := faults.Inject(faults.SiteStoreLoad); err != nil {
 		return nil, fmt.Errorf("store: load dataset: %w", err)
 	}

@@ -113,9 +113,11 @@ func (r *CitationReader) Get(id corpus.CitationID) (*corpus.Citation, error) {
 	r.mu.Lock()
 	if c, hit := r.cache.get(id); hit {
 		r.mu.Unlock()
+		citationCacheHits.Inc()
 		return c, nil
 	}
 	r.mu.Unlock()
+	citationCacheMisses.Inc()
 
 	buf := make([]byte, loc.length)
 	if _, err := r.f.ReadAt(buf, loc.offset); err != nil {

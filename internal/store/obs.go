@@ -1,0 +1,18 @@
+package store
+
+import "bionav/internal/obs"
+
+// Process-wide store metrics on the default registry
+// (docs/OBSERVABILITY.md catalogs them). LoadDataset timing goes through
+// obs.Time so this package never reads the clock directly.
+var (
+	storeLoads = obs.Default.CounterVec("bionav_store_loads_total",
+		"Dataset loads by outcome (ok, error).", "outcome")
+	storeLoadSeconds = obs.Default.Histogram("bionav_store_load_seconds",
+		"Wall time to load a dataset from disk.",
+		obs.ExponentialBuckets(0.01, 4, 6)) // 10ms … ~10s, then +Inf
+	citationCacheHits = obs.Default.Counter("bionav_citation_cache_hits_total",
+		"CitationReader point lookups served from the decoded-citation LRU.")
+	citationCacheMisses = obs.Default.Counter("bionav_citation_cache_misses_total",
+		"CitationReader point lookups that read and decoded from disk.")
+)
