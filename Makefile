@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test metrics-test experiments demo clean
+.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test metrics-test parallel-test experiments demo clean
 
 all: fmt vet lint test build
 
@@ -58,10 +58,19 @@ metrics-test:
 	$(GO) test -race -run 'Metrics|RequestID|Trace|Probe|Stats' ./cmd/bionav-server ./internal/server
 	$(GO) test -race ./internal/obs
 
+# Concurrency gate: the parallel EXPAND pipeline raced at GOMAXPROCS=4 —
+# parallel-vs-serial differential tests, the nav-cache stampede proof,
+# batch EXPAND degradation, and the TTL-vs-in-flight-EXPAND race.
+parallel-test:
+	GOMAXPROCS=4 $(GO) test -race -run 'SolveComponents|PoolLifecycle|ExpandBatch|FaultBatch|BuildParallel|GetOrBuild|ExpandAllParallel|ConcurrentExpand|SessionExpired|TTL' ./internal/core ./internal/navtree ./internal/navigate ./internal/server
+
 # Machine-readable core benchmark run, for before/after comparisons.
-# Includes the instrumentation-overhead benchmark from the repo root.
+# Includes the instrumentation-overhead benchmark from the repo root, plus
+# a GOMAXPROCS=4 pass of the solve-pool benchmarks so the recorded
+# speedup-x / dp-speedup-x metrics reflect the parallel configuration.
 bench-json:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core . > BENCH_core.json
+	GOMAXPROCS=4 $(GO) test -json -bench='BenchmarkSolveComponents' -run='^$$' ./internal/core >> BENCH_core.json
 
 # Regenerate every table and figure of the paper's evaluation (§VIII).
 experiments:

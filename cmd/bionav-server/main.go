@@ -97,6 +97,7 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		sessTTL = fs.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
 
 		expBudget = fs.Duration("expand-budget", 2*time.Second, "EXPAND optimization budget before degrading to the static cut (negative disables)")
+		poolSize  = fs.Int("pool", 0, "solve-pool workers for parallel EXPAND and tree builds (0 = GOMAXPROCS, negative disables)")
 		inFlight  = fs.Int("max-inflight", 64, "concurrent API requests before shedding with 503 (negative disables)")
 		queueWait = fs.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit request waits for a slot")
 		apiTO     = fs.Duration("api-timeout", 30*time.Second, "whole-request API deadline (negative disables)")
@@ -134,10 +135,13 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		MaxInFlight:  *inFlight,
 		QueueWait:    *queueWait,
 		APITimeout:   *apiTO,
+		Workers:      *poolSize,
 		Logger:       logger,
 		TraceSample:  *traceSample,
 	})
-	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s\n", ds.Tree.Len(), ds.Corpus.Len(), *addr)
+	srv.Warmup()
+	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s (%d solve workers)\n",
+		ds.Tree.Len(), ds.Corpus.Len(), *addr, srv.Workers())
 	return &app{
 		handler:      srv.Handler(),
 		addr:         *addr,

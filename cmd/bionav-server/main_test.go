@@ -77,13 +77,18 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_expand_timeouts_total", "counter"},
 	{"bionav_http_request_seconds", "histogram"},
 	{"bionav_http_requests_total", "counter"},
+	{"bionav_navcache_coalesced_total", "counter"},
 	{"bionav_navcache_evictions_total", "counter"},
 	{"bionav_navcache_hits_total", "counter"},
 	{"bionav_navcache_misses_total", "counter"},
+	{"bionav_pool_busy", "gauge"},
+	{"bionav_pool_queue_depth", "gauge"},
+	{"bionav_pool_workers", "gauge"},
 	{"bionav_queue_depth", "gauge"},
 	{"bionav_requests_shed_total", "counter"},
 	{"bionav_sessions_evicted_total", "counter"},
 	{"bionav_sessions_live", "gauge"},
+	{"bionav_solve_component_seconds", "histogram"},
 	{"bionav_store_load_seconds", "histogram"},
 	{"bionav_store_loads_total", "counter"},
 	{"bionav_traces_sampled_total", "counter"},

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bionav/internal/navtree"
+	"bionav/internal/obs"
+)
+
+// Pool is a bounded worker pool for per-component EdgeCut solves. An
+// EXPAND over several visible components fans the policy's ChooseCut out
+// across the pool — each component's k-partition + DP reads only its own
+// subtree of the active tree, so solves are independent — and the caller
+// merges the results in ascending component-root order, making the
+// parallel outcome identical to the serial one.
+//
+// Workers are started eagerly by NewPool and live until Close, so the
+// steady-state cost of a solve is one channel handoff. A nil *Pool is
+// valid everywhere and means "run inline on the caller's goroutine" —
+// the exact serial execution the differential tests compare against.
+type Pool struct {
+	tasks chan func()
+	size  int
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewPool starts a pool of size workers; size <= 0 means GOMAXPROCS.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), size: size}
+	poolWorkers.Add(int64(size))
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// Close stops the workers after draining already-submitted tasks. Safe to
+// call more than once and on a nil pool.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+		poolWorkers.Add(-int64(p.size))
+	})
+}
+
+// Warm pushes one no-op through every worker, faulting in goroutine
+// stacks and scheduler state before the first real EXPAND pays for it.
+func (p *Pool) Warm() {
+	if p == nil {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.size)
+	for i := 0; i < p.size; i++ {
+		p.tasks <- wg.Done
+	}
+	wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for f := range p.tasks {
+		poolBusy.Add(1)
+		f()
+		poolBusy.Add(-1)
+	}
+}
+
+// submit hands f to a worker, waiting until one frees up; the wait is
+// abandoned with the ctx error if the context ends first. The queue-depth
+// gauge counts submissions parked in this wait.
+func (p *Pool) submit(ctx context.Context, f func()) error {
+	poolQueueDepth.Add(1)
+	defer poolQueueDepth.Add(-1)
+	select {
+	case p.tasks <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ErrSolvePanic wraps a panic recovered from a per-component solve: the
+// worker survives, the component reports the failure, and callers can
+// degrade that component alone (navigate falls back to the static cut).
+var ErrSolvePanic = errors.New("core: component solve panicked")
+
+// ComponentCut is one component's outcome in a multi-component solve.
+type ComponentCut struct {
+	Root navtree.NodeID
+	Cut  []Edge
+	Err  error
+}
+
+// SolveComponents runs policy.ChooseCut for every listed component root,
+// fanning the solves across the pool (nil pool = inline, serial). Results
+// come back in ascending component-root order regardless of completion
+// order, so the merge is deterministic. Per-component failures — context
+// cancellation, injected faults, even a panicking solve — land in that
+// component's Err and never affect sibling components.
+//
+// The policy must be safe for concurrent ChooseCut calls on the same
+// active tree; the shipped stateless policies (HeuristicReducedOpt,
+// OptEdgeCutPolicy, StaticAll, StaticTopK) are, because ChooseCut only
+// reads the tree and all scratch space is pooled per goroutine.
+// CachedHeuristic retains a per-session plan and is not.
+func SolveComponents(ctx context.Context, pool *Pool, at *ActiveTree, policy Policy, roots []navtree.NodeID) []ComponentCut {
+	ordered := append([]navtree.NodeID(nil), roots...)
+	sort.Ints(ordered)
+	out := make([]ComponentCut, len(ordered))
+	solve := func(i int) {
+		out[i].Root = ordered[i]
+		defer func() {
+			if r := recover(); r != nil {
+				out[i].Cut = nil
+				out[i].Err = fmt.Errorf("%w: component %d: %v", ErrSolvePanic, ordered[i], r)
+			}
+		}()
+		stop := obs.Time(solveSeconds)
+		defer stop()
+		out[i].Cut, out[i].Err = policy.ChooseCut(ctx, at, ordered[i])
+	}
+	if pool == nil {
+		for i := range ordered {
+			solve(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range ordered {
+		i := i
+		wg.Add(1)
+		if err := pool.submit(ctx, func() { defer wg.Done(); solve(i) }); err != nil {
+			out[i] = ComponentCut{Root: ordered[i], Err: err}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return out
+}

@@ -8,7 +8,8 @@ import (
 )
 
 // This file adds PubMed-style boolean retrieval on top of the conjunctive
-// Search: uppercase AND / OR / NOT operators with parentheses, e.g.
+// Search: AND / OR / NOT operators (any case, as in PubMed) with
+// parentheses, e.g.
 //
 //	prothymosin AND (cancer OR apoptosis) NOT review
 //
@@ -69,10 +70,12 @@ func (ix *Index) SearchBoolean(q string) ([]corpus.CitationID, error) {
 }
 
 // SearchQuery is the user-facing entry point: queries containing boolean
-// operators or parentheses go through the boolean engine; plain keyword
-// queries keep the implicit-AND fast path. Malformed boolean syntax falls
-// back to implicit AND (matching PubMed's forgiving behaviour) — operators
-// that survive tokenization as lowercase words simply become terms.
+// operators (matched case-insensitively, so `heart and attack` means
+// `heart AND attack`, as in PubMed) or parentheses go through the boolean
+// engine; plain keyword queries keep the implicit-AND fast path.
+// Malformed boolean syntax falls back to implicit AND (matching PubMed's
+// forgiving behaviour). navtree.NormalizeQuery mirrors this operator
+// matching when it canonicalizes queries for cache keying.
 func (ix *Index) SearchQuery(q string) []corpus.CitationID {
 	if hasBooleanSyntax(q) {
 		if ids, err := ix.SearchBoolean(q); err == nil {
@@ -87,7 +90,7 @@ func hasBooleanSyntax(q string) bool {
 		return true
 	}
 	for _, f := range strings.Fields(q) {
-		switch f {
+		switch strings.ToUpper(f) {
 		case "AND", "OR", "NOT":
 			return true
 		}
@@ -109,9 +112,9 @@ func lexQuery(q string) ([]queryToken, error) {
 	q = strings.ReplaceAll(q, "(", " ( ")
 	q = strings.ReplaceAll(q, ")", " ) ")
 	for _, f := range strings.Fields(q) {
-		switch f {
+		switch strings.ToUpper(f) {
 		case "AND", "OR", "NOT":
-			toks = append(toks, queryToken{kind: f})
+			toks = append(toks, queryToken{kind: strings.ToUpper(f)})
 		case "(", ")":
 			toks = append(toks, queryToken{kind: f})
 		default:

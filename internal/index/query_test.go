@@ -106,17 +106,43 @@ func TestExprString(t *testing.T) {
 	}
 }
 
-func TestCaseSensitivityOfOperators(t *testing.T) {
+func TestCaseInsensitiveOperators(t *testing.T) {
 	ix := boolIndex()
-	// Lowercase "and"/"or"/"not" are ordinary (unindexed) words, matching
-	// PubMed's uppercase-operator convention — they behave as terms and
-	// make the conjunction empty.
-	got, err := ix.SearchBoolean("prothymosin and cancer")
+	// Operators match case-insensitively (PubMed accepts `and` for AND),
+	// so every spelling of an operator keys the same query — the property
+	// navtree.NormalizeQuery's cache canonicalization depends on.
+	cases := []struct{ raw, canonical string }{
+		{"prothymosin and cancer", "prothymosin AND cancer"},
+		{"prothymosin or cancer", "prothymosin OR cancer"},
+		{"prothymosin Not cancer", "prothymosin NOT cancer"},
+		{"prothymosin aNd (cancer oR apoptosis)", "prothymosin AND (cancer OR apoptosis)"},
+	}
+	for _, c := range cases {
+		got, err := ix.SearchBoolean(c.raw)
+		if err != nil {
+			t.Fatalf("SearchBoolean(%q): %v", c.raw, err)
+		}
+		want, err := ix.SearchBoolean(c.canonical)
+		if err != nil {
+			t.Fatalf("SearchBoolean(%q): %v", c.canonical, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q gave %v, canonical %q gave %v", c.raw, got, c.canonical, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q gave %v, canonical %q gave %v", c.raw, got, c.canonical, want)
+			}
+		}
+	}
+	// SearchQuery takes the boolean path for lowercase operators too.
+	gotQ := ix.SearchQuery("prothymosin or cancer")
+	wantQ, err := ix.SearchBoolean("prothymosin OR cancer")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 0 {
-		t.Fatalf("lowercase 'and' treated as operator: %v", got)
+	if len(gotQ) != len(wantQ) {
+		t.Fatalf("SearchQuery lowercase-or = %v, want %v", gotQ, wantQ)
 	}
 }
 

@@ -2,23 +2,26 @@ package navtree
 
 import (
 	"container/list"
+	"context"
 	"strings"
 	"sync"
 
 	"bionav/internal/faults"
 )
 
-// NormalizeQuery canonicalizes a keyword query for cache keying: whitespace
-// collapses to single spaces and every term is lowercased, except the
-// boolean operators AND / OR / NOT, which the query language matches
-// case-sensitively. Index term tokenization lowercases terms itself, so two
-// queries with equal normal forms produce identical search results — the
-// property the navigation-tree cache relies on.
+// NormalizeQuery canonicalizes a keyword query for cache keying:
+// whitespace collapses to single spaces, the boolean operators AND / OR /
+// NOT canonicalize to uppercase whatever their spelling (the query
+// language matches them case-insensitively, see index.SearchQuery), and
+// every other term is lowercased. Index term tokenization lowercases
+// terms itself, so two queries with equal normal forms produce identical
+// search results — the property the navigation-tree cache relies on.
 func NormalizeQuery(q string) string {
 	fields := strings.Fields(q)
 	for i, f := range fields {
-		switch f {
+		switch strings.ToUpper(f) {
 		case "AND", "OR", "NOT":
+			fields[i] = strings.ToUpper(f)
 		default:
 			fields[i] = strings.ToLower(f)
 		}
@@ -31,17 +34,28 @@ func NormalizeQuery(q string) string {
 // any number of concurrent sessions; only per-session state (the active
 // tree) must be rebuilt per user.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	order  *list.List // front = most recently used; element values are *cacheEntry
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; element values are *cacheEntry
+	items   map[string]*list.Element
+	flights map[string]*flight // in-progress builds, for GetOrBuild coalescing
+	hits    uint64
+	misses  uint64
 }
 
 type cacheEntry struct {
 	key  string
 	tree *Tree
+}
+
+// flight is one in-progress tree build. The leader fills tree/err and
+// closes done; waiters block on done or their own context — a waiter's
+// cancellation never touches the flight, so it cannot poison the build
+// for anyone else.
+type flight struct {
+	done chan struct{}
+	tree *Tree
+	err  error
 }
 
 // NewCache returns an LRU cache holding at most capacity trees (minimum 1).
@@ -50,19 +64,18 @@ func NewCache(capacity int) *Cache {
 		capacity = 1
 	}
 	return &Cache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:     capacity,
+		order:   list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		flights: make(map[string]*flight),
 	}
 }
 
-// Get returns the cached tree for key, marking it most recently used. An
-// armed faults.SiteNavCacheGet failpoint forces a miss — simulating a
-// failed or cold cache tier; callers rebuild the tree, which is the
-// cache's contractual degradation path.
-func (c *Cache) Get(key string) (*Tree, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// getLocked is the lookup core shared by Get and GetOrBuild; caller holds
+// c.mu. An armed faults.SiteNavCacheGet failpoint forces a miss —
+// simulating a failed or cold cache tier; callers rebuild the tree, which
+// is the cache's contractual degradation path.
+func (c *Cache) getLocked(key string) (*Tree, bool) {
 	if faults.Inject(faults.SiteNavCacheGet) != nil {
 		c.misses++
 		navCacheMisses.Inc()
@@ -80,12 +93,64 @@ func (c *Cache) Get(key string) (*Tree, bool) {
 	return el.Value.(*cacheEntry).tree, true
 }
 
+// Get returns the cached tree for key, marking it most recently used.
+func (c *Cache) Get(key string) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(key)
+}
+
+// GetOrBuild returns the tree for key, building it with build on a miss.
+// Concurrent misses on one key coalesce: the first arrival (the leader)
+// runs build exactly once while later arrivals wait for its result, so N
+// cold-cache requests for one query cost one tree construction instead of
+// N. The leader runs build to completion regardless of ctx — the result
+// is shared state, not one request's private work — while each waiter
+// honors its own ctx and abandons the wait with the ctx error; the flight
+// itself is unaffected. A failed build is not cached: waiters of that
+// flight share its error, and the next GetOrBuild retries.
+func (c *Cache) GetOrBuild(ctx context.Context, key string, build func() (*Tree, error)) (*Tree, error) {
+	c.mu.Lock()
+	if t, ok := c.getLocked(key); ok {
+		c.mu.Unlock()
+		return t, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		navCacheCoalesced.Inc()
+		select {
+		case <-f.done:
+			return f.tree, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.tree, f.err = build()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.addLocked(key, f.tree)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.tree, f.err
+}
+
 // Add stores the tree under key, evicting the least recently used entry if
 // the cache is full. Re-adding an existing key refreshes its tree and
 // recency.
 func (c *Cache) Add(key string, t *Tree) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.addLocked(key, t)
+}
+
+func (c *Cache) addLocked(key string, t *Tree) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).tree = t
 		c.order.MoveToFront(el)

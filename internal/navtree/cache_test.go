@@ -9,8 +9,15 @@ func TestNormalizeQuery(t *testing.T) {
 		{"Prothymosin", "prothymosin"},
 		{"  cancer   cell  ", "cancer cell"},
 		{"Apoptosis AND Growth", "apoptosis AND growth"},
-		{"apoptosis and growth", "apoptosis and growth"}, // lowercase "and" is a term
+		// Operators canonicalize to uppercase whatever their spelling: the
+		// query parser matches them case-insensitively, so `heart and
+		// attack` and `heart AND attack` are one query and must share one
+		// cache key.
+		{"apoptosis and growth", "apoptosis AND growth"},
+		{"p53 oR mdm2", "p53 OR mdm2"},
+		{"Heart Not Mouse", "heart NOT mouse"},
 		{"(P53 OR MDM2) NOT Mouse", "(p53 OR mdm2) NOT mouse"},
+		{"androgen oration nothing", "androgen oration nothing"}, // words containing operators stay terms
 		{"\tTNF\n alpha", "tnf alpha"},
 		{"", ""},
 	}

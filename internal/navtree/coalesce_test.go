@@ -1,0 +1,162 @@
+package navtree
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+)
+
+// TestBuildParallelMatchesSerial checks sharded construction is invisible:
+// for any worker count the tree must be deeply equal to the serial build —
+// same nodes, same per-concept citation order, same result index.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 41, Nodes: 900, TopLevel: 9, MaxDepth: 8})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 42, Citations: 400, MeanConcepts: 25, FirstID: 1, YearLo: 2000, YearHi: 2008,
+	})
+	// Duplicate some IDs: the dedupe pass is part of the contract.
+	results := append(corp.IDs(), corp.IDs()[:50]...)
+
+	serial := Build(corp, results)
+	if err := serial.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// More workers than top-level subtrees, prime counts, and the serial
+	// degenerate cases all must agree.
+	for _, workers := range []int{0, 1, 2, 3, 8, 16} {
+		par := BuildParallel(corp, results, workers)
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: parallel build diverged from serial", workers)
+		}
+	}
+}
+
+// TestCacheGetOrBuildStampede fires 64 concurrent cold-cache requests for
+// one key and proves the flight coalescing admits exactly one build: every
+// request gets the same tree, and the build function runs once.
+func TestCacheGetOrBuildStampede(t *testing.T) {
+	f := newFixture(t)
+	tree := f.build(t, 1, 2)
+	c := NewCache(4)
+
+	const n = 64
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(n)
+	go func() {
+		// Hold the leader's build open until all 64 requests are in flight,
+		// so this is a genuine stampede rather than a sequential parade.
+		started.Wait()
+		close(gate)
+	}()
+	build := func() (*Tree, error) {
+		builds.Add(1)
+		<-gate
+		return tree, nil
+	}
+
+	got := make([]*Tree, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			got[i], errs[i] = c.GetOrBuild(context.Background(), "stampede", build)
+		}(i)
+	}
+	wg.Wait()
+
+	if b := builds.Load(); b != 1 {
+		t.Fatalf("%d builds for one key under %d concurrent requests, want exactly 1", b, n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+		if got[i] != tree {
+			t.Fatalf("request %d got a different tree", i)
+		}
+	}
+	if hit, ok := c.Get("stampede"); !ok || hit != tree {
+		t.Fatal("stampede result was not cached")
+	}
+}
+
+// TestCacheGetOrBuildWaiterCancel cancels one waiter mid-flight: the
+// waiter gets its own ctx error, while the leader's build completes, is
+// cached, and serves everyone else — cancellation cannot poison the flight.
+func TestCacheGetOrBuildWaiterCancel(t *testing.T) {
+	f := newFixture(t)
+	tree := f.build(t, 1)
+	c := NewCache(4)
+
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var leaderTree *Tree
+	var leaderErr error
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		leaderTree, leaderErr = c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+			close(leaderIn)
+			<-gate
+			return tree, nil
+		})
+	}()
+	<-leaderIn // the flight is registered and building
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetOrBuild(ctx, "k", func() (*Tree, error) {
+		t.Error("cancelled waiter must not start its own build")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	leaderDone.Wait()
+	if leaderErr != nil || leaderTree != tree {
+		t.Fatalf("leader = (%v, %v), want the built tree", leaderTree, leaderErr)
+	}
+	if hit, ok := c.Get("k"); !ok || hit != tree {
+		t.Fatal("waiter cancellation poisoned the cached build")
+	}
+}
+
+// TestCacheGetOrBuildErrorNotCached checks a failed build propagates its
+// error without populating the cache, and the next request retries.
+func TestCacheGetOrBuildErrorNotCached(t *testing.T) {
+	f := newFixture(t)
+	tree := f.build(t, 1)
+	c := NewCache(4)
+	boom := errors.New("index exploded")
+
+	if _, err := c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want build failure", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build was cached")
+	}
+	got, err := c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+		return tree, nil
+	})
+	if err != nil || got != tree {
+		t.Fatalf("retry after failed build = (%v, %v)", got, err)
+	}
+}

@@ -9,6 +9,7 @@ package navtree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bionav/internal/corpus"
 	"bionav/internal/hierarchy"
@@ -44,15 +45,40 @@ type Tree struct {
 // single pass over concepts in ascending ID order (parents precede
 // children). Unknown citation IDs are ignored.
 func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
+	return build(corp, results, 1)
+}
+
+// BuildParallel is Build with concept attachment and result-list fill
+// sharded across up to `workers` goroutines, partitioned by top-level
+// hierarchy subtree (every MeSH descriptor under one top-level category
+// lands on the same shard). Sharding preserves the serial scan order
+// within every shard, so the resulting tree is identical — node for
+// node, slice for slice — to Build's; the differential test asserts it.
+// workers <= 1 falls back to the serial path.
+func BuildParallel(corp *corpus.Corpus, results []corpus.CitationID, workers int) *Tree {
+	return build(corp, results, workers)
+}
+
+// attachShard is one shard's view of phase 1: the per-concept citation
+// lists (and their dense-index mirrors) for the concepts this shard owns.
+type attachShard struct {
+	attached    map[hierarchy.ConceptID][]corpus.CitationID
+	attachedIdx map[hierarchy.ConceptID][]int32
+}
+
+func build(corp *corpus.Corpus, results []corpus.CitationID, workers int) *Tree {
 	h := corp.Tree()
 
-	// Attach results to concepts, deduplicating citation IDs. attachedIdx
-	// mirrors attached with the dense result indexes so consumers building
-	// bitsets (core.NewActiveTree) need no map lookups afterwards.
-	attached := make(map[hierarchy.ConceptID][]corpus.CitationID)
-	attachedIdx := make(map[hierarchy.ConceptID][]int32)
+	// Dedupe pass (serial: result order defines the dense result indexes).
+	// It also snapshots each kept citation's concept list so the attach
+	// shards can scan without re-resolving.
+	type kept struct {
+		id       corpus.CitationID
+		concepts []hierarchy.ConceptID
+	}
 	seen := make(map[corpus.CitationID]struct{}, len(results))
 	resultIdx := make(map[corpus.CitationID]int, len(results))
+	order := make([]kept, 0, len(results))
 	for _, id := range results {
 		if _, dup := seen[id]; dup {
 			continue
@@ -62,17 +88,68 @@ func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 			continue
 		}
 		seen[id] = struct{}{}
-		idx := len(resultIdx)
-		resultIdx[id] = idx
-		for _, c := range concepts {
-			attached[c] = append(attached[c], id)
-			attachedIdx[c] = append(attachedIdx[c], int32(idx))
-		}
+		resultIdx[id] = len(resultIdx)
+		order = append(order, kept{id: id, concepts: concepts})
 	}
 
+	// Attach phase: append every kept citation to the list of each of its
+	// concepts. attachedIdx mirrors attached with the dense result indexes
+	// so consumers building bitsets (core.NewActiveTree) need no map
+	// lookups afterwards. With workers > 1 the work shards by top-level
+	// subtree: each worker scans the deduped citations in the same order
+	// as the serial code but appends only to concepts its shard owns, so
+	// every per-concept list comes out in the identical order.
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var shards []attachShard
+	var shardOf []int32 // concept → owning shard; nil when serial
+	if workers > 1 {
+		shardOf = shardByTopLevel(h, workers)
+		shards = make([]attachShard, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				sh := attachShard{
+					attached:    make(map[hierarchy.ConceptID][]corpus.CitationID),
+					attachedIdx: make(map[hierarchy.ConceptID][]int32),
+				}
+				for idx, k := range order {
+					for _, c := range k.concepts {
+						if int(shardOf[c]) != w {
+							continue
+						}
+						sh.attached[c] = append(sh.attached[c], k.id)
+						sh.attachedIdx[c] = append(sh.attachedIdx[c], int32(idx))
+					}
+				}
+				shards[w] = sh
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		sh := attachShard{
+			attached:    make(map[hierarchy.ConceptID][]corpus.CitationID),
+			attachedIdx: make(map[hierarchy.ConceptID][]int32),
+		}
+		for idx, k := range order {
+			for _, c := range k.concepts {
+				sh.attached[c] = append(sh.attached[c], k.id)
+				sh.attachedIdx[c] = append(sh.attachedIdx[c], int32(idx))
+			}
+		}
+		shards = []attachShard{sh}
+	}
+
+	nAttached := 0
+	for _, sh := range shards {
+		nAttached += len(sh.attached)
+	}
 	t := &Tree{
 		corp:      corp,
-		byConcept: make(map[hierarchy.ConceptID]NodeID, len(attached)+1),
+		byConcept: make(map[hierarchy.ConceptID]NodeID, nAttached+1),
 		distinct:  len(resultIdx),
 		resultIdx: resultIdx,
 	}
@@ -81,28 +158,54 @@ func Build(corp *corpus.Corpus, results []corpus.CitationID) *Tree {
 	t.byConcept[h.Root()] = 0
 
 	// Concept IDs ascend from parents to children, so a single ordered scan
-	// sees every kept ancestor before its descendants. nearestKept memoizes
-	// the closest kept ancestor for elided concepts along walked paths.
-	conceptIDs := make([]hierarchy.ConceptID, 0, len(attached))
-	for c := range attached {
-		conceptIDs = append(conceptIDs, c)
+	// sees every kept ancestor before its descendants. The shards partition
+	// the concept set, so the union of their keys is exactly the serial
+	// attached set.
+	conceptIDs := make([]hierarchy.ConceptID, 0, nAttached)
+	for _, sh := range shards {
+		for c := range sh.attached {
+			conceptIDs = append(conceptIDs, c)
+		}
 	}
 	sort.Slice(conceptIDs, func(i, j int) bool { return conceptIDs[i] < conceptIDs[j] })
 
 	for _, c := range conceptIDs {
+		sh := &shards[0]
+		if shardOf != nil {
+			sh = &shards[shardOf[c]]
+		}
 		parentNode := t.findKeptAncestor(h, c)
 		id := NodeID(len(t.nodes))
 		t.nodes = append(t.nodes, Node{
 			Concept: c,
 			Parent:  parentNode,
-			Results: attached[c],
+			Results: sh.attached[c],
 			Depth:   t.nodes[parentNode].Depth + 1,
 		})
-		t.nodeIdxs = append(t.nodeIdxs, attachedIdx[c])
+		t.nodeIdxs = append(t.nodeIdxs, sh.attachedIdx[c])
 		t.nodes[parentNode].Children = append(t.nodes[parentNode].Children, id)
 		t.byConcept[c] = id
 	}
 	return t
+}
+
+// shardByTopLevel assigns every hierarchy concept to one of `workers`
+// shards such that a whole top-level subtree shares a shard (round-robin
+// over top-level concepts in ID order). Concept IDs ascend from parents
+// to children, so one forward pass inherits the parent's shard.
+func shardByTopLevel(h *hierarchy.Tree, workers int) []int32 {
+	shard := make([]int32, h.Len())
+	next := int32(0)
+	root := h.Root()
+	for c := root + 1; c < hierarchy.ConceptID(h.Len()); c++ {
+		if h.Parent(c) == root {
+			shard[c] = next % int32(workers)
+			next++
+			continue
+		}
+		shard[c] = shard[h.Parent(c)]
+	}
+	return shard
 }
 
 // findKeptAncestor walks up the hierarchy from concept c to the nearest

@@ -13,4 +13,6 @@ var (
 		"Navigation-tree cache lookups that missed (including forced fault-injection misses).")
 	navCacheEvictions = obs.Default.Counter("bionav_navcache_evictions_total",
 		"Navigation trees evicted by LRU capacity pressure.")
+	navCacheCoalesced = obs.Default.Counter("bionav_navcache_coalesced_total",
+		"Cache misses that waited on another request's in-flight tree build instead of building again.")
 )

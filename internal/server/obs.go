@@ -70,6 +70,7 @@ var knownRoutes = map[string]bool{
 	"/metrics":       true,
 	"/api/query":     true,
 	"/api/expand":    true,
+	"/api/expandall": true,
 	"/api/backtrack": true,
 	"/api/results":   true,
 	"/api/export":    true,

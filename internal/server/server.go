@@ -48,6 +48,7 @@ type Config struct {
 	SessionTTL   time.Duration // evict sessions idle longer than this (default 30m)
 	PolicyK      int           // Heuristic-ReducedOpt budget (default 10)
 	NavCacheSize int           // navigation trees cached across queries (default 128; negative disables)
+	Workers      int           // solve-pool workers for parallel EXPAND and sharded tree builds (0 = GOMAXPROCS; negative disables the pool)
 
 	// Resilience knobs — see the package comment and docs/RESILIENCE.md.
 	ExpandBudget time.Duration // EdgeCut optimization budget per EXPAND (default 2s; negative disables)
@@ -97,6 +98,7 @@ type Server struct {
 	cfg      Config
 	scorer   *rank.Scorer
 	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions
+	pool     *core.Pool     // parallel EXPAND solves + sharded tree builds; nil when disabled
 	sem      chan struct{}  // in-flight /api/ slots; nil when shedding disabled
 	met      *serverMetrics // per-instance registry; /api/stats reads through it
 	reqSeq   atomic.Uint64  // request counter driving the trace sampler
@@ -109,11 +111,19 @@ type Server struct {
 // session is one user's live navigation. The embedded navigate.Session is
 // stateful and not concurrency-safe, so every handler touching nav — or
 // rendering state derived from it — holds mu.
+//
+// expired flips when the session is removed from the server's table (TTL
+// sweep or LRU pressure). A handler that looked the session up before the
+// sweep may still be navigating it; the flag lets that handler report a
+// clean "session expired" instead of answering success for a session that
+// no longer exists. The orphaned state itself stays safe — the handler
+// owns mu — it is just unreachable afterwards.
 type session struct {
 	mu       sync.Mutex
 	nav      *navigate.Session
 	keywords string
 	lastUsed time.Time
+	expired  atomic.Bool
 }
 
 // New builds a server over the dataset.
@@ -128,6 +138,9 @@ func New(ds *store.Dataset, cfg Config) *Server {
 	if cfg.NavCacheSize > 0 {
 		s.navCache = navtree.NewCache(cfg.NavCacheSize)
 	}
+	if cfg.Workers >= 0 {
+		s.pool = core.NewPool(cfg.Workers)
+	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -135,31 +148,55 @@ func New(ds *store.Dataset, cfg Config) *Server {
 	return s
 }
 
+// Warmup primes the solve pool (worker stacks, scheduler state) so the
+// first EXPAND after boot pays steady-state cost; a no-op without a pool.
+func (s *Server) Warmup() {
+	s.pool.Warm()
+}
+
+// Workers reports the effective solve-pool size (1 when the pool is
+// disabled and everything runs inline).
+func (s *Server) Workers() int { return s.pool.Size() }
+
+// Close releases the solve pool's workers. The server must not serve
+// further EXPANDs afterwards.
+func (s *Server) Close() {
+	s.pool.Close()
+}
+
 // navTreeFor resolves a keyword query to its navigation tree, serving
 // repeat queries from the LRU cache. The cache key is the normalized query;
 // the search itself also runs on the normal form, so equal keys are
-// guaranteed equal results and the cached tree is exact.
+// guaranteed equal results and the cached tree is exact. Concurrent
+// cold-cache requests for one key coalesce onto a single build
+// (navtree.Cache.GetOrBuild), and the build itself shards across the
+// solve pool when one is configured.
 func (s *Server) navTreeFor(ctx context.Context, keywords string) (*navtree.Tree, error) {
 	sp := obs.FromContext(ctx).StartChild("nav_tree")
 	defer sp.End()
 	key := navtree.NormalizeQuery(keywords)
-	if s.navCache != nil {
-		if nav, ok := s.navCache.Get(key); ok {
-			sp.SetAttr("cache", "hit")
-			return nav, nil
+	built := false
+	build := func() (*navtree.Tree, error) {
+		built = true
+		results := s.ds.Index.SearchQuery(key)
+		if len(results) == 0 {
+			return nil, fmt.Errorf("no citations match %q", keywords)
 		}
+		sp.SetAttr("results", len(results))
+		return navtree.BuildParallel(s.ds.Corpus, results, s.pool.Size()), nil
 	}
-	sp.SetAttr("cache", "miss")
-	results := s.ds.Index.SearchQuery(key)
-	if len(results) == 0 {
-		return nil, fmt.Errorf("no citations match %q", keywords)
+	if s.navCache == nil {
+		sp.SetAttr("cache", "off")
+		return build()
 	}
-	sp.SetAttr("results", len(results))
-	nav := navtree.Build(s.ds.Corpus, results)
-	if s.navCache != nil {
-		s.navCache.Add(key, nav)
+	nav, err := s.navCache.GetOrBuild(ctx, key, build)
+	switch {
+	case built:
+		sp.SetAttr("cache", "miss")
+	case err == nil:
+		sp.SetAttr("cache", "hit")
 	}
-	return nav, nil
+	return nav, err
 }
 
 // Handler returns the HTTP handler: the HTML UI at "/", the JSON API under
@@ -172,6 +209,7 @@ func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /api/query", s.handleQuery)
 	api.HandleFunc("POST /api/expand", s.handleExpand)
+	api.HandleFunc("POST /api/expandall", s.handleExpandAll)
 	api.HandleFunc("POST /api/backtrack", s.handleBacktrack)
 	api.HandleFunc("GET /api/results", s.handleResults)
 	api.HandleFunc("GET /api/export", s.handleExport)
@@ -238,6 +276,9 @@ type stateResponse struct {
 	// carries the context error ("context deadline exceeded", …).
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// DegradedComponents counts the components of a batch EXPAND
+	// (/api/expandall) that fell back to the static cut.
+	DegradedComponents int `json:"degradedComponents,omitempty"`
 	// Trace is the request's span tree, attached when the client asked
 	// for it with ?debug=trace.
 	Trace *obs.SpanSummary `json:"trace,omitempty"`
@@ -310,6 +351,13 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// The TTL sweep may have reaped the session while the EXPAND was in
+	// flight; report expiry rather than success for a dead session.
+	if sess.expired.Load() {
+		sess.mu.Unlock()
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
 	if res.Degraded {
@@ -320,6 +368,81 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Degraded = true
 		resp.DegradedReason = res.Reason
+	}
+	if r.URL.Query().Get("debug") == "trace" {
+		resp.Trace = obs.FromContext(ctx).Summary()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type expandAllRequest struct {
+	Session string `json:"session"`
+}
+
+// handleExpandAll performs EXPAND on every expandable visible component
+// in one action, fanning the per-component EdgeCut solves across the
+// solve pool (serial without one). The response is the usual state view;
+// degraded components are counted and the first degradation reason is
+// surfaced, mirroring the single-EXPAND contract.
+func (s *Server) handleExpandAll(w http.ResponseWriter, r *http.Request) {
+	var req expandAllRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sess, err := s.lookup(req.Session)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	// One optimization budget bounds the whole batch: the solves share the
+	// deadline, and any component cut short degrades alone.
+	ctx := r.Context()
+	if s.cfg.ExpandBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ExpandBudget)
+		defer cancel()
+	}
+	sess.mu.Lock()
+	at := sess.nav.Active()
+	var roots []navtree.NodeID
+	for _, root := range at.VisibleRoots() {
+		if at.ComponentSize(root) > 1 {
+			roots = append(roots, root)
+		}
+	}
+	if len(roots) == 0 {
+		sess.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity, errors.New("server: nothing left to expand"))
+		return
+	}
+	results, err := sess.nav.ExpandBatchContext(ctx, s.pool, roots)
+	if err != nil {
+		sess.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if sess.expired.Load() {
+		sess.mu.Unlock()
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	resp := s.stateLocked(req.Session, sess)
+	sess.mu.Unlock()
+	for _, cr := range results {
+		if !cr.Degraded {
+			continue
+		}
+		s.met.degraded.Inc()
+		markDegraded(ctx)
+		resp.Degraded = true
+		resp.DegradedComponents++
+		if resp.DegradedReason == "" {
+			resp.DegradedReason = cr.Reason
+		}
+	}
+	if resp.Degraded && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.met.timeouts.Inc()
 	}
 	if r.URL.Query().Get("debug") == "trace" {
 		resp.Trace = obs.FromContext(ctx).Summary()
@@ -482,6 +605,7 @@ func (s *Server) lookup(id string) (*session, error) {
 		return nil, errNoSession
 	}
 	if time.Since(sess.lastUsed) > s.cfg.SessionTTL {
+		sess.expired.Store(true)
 		delete(s.sessions, id)
 		s.met.evicted.Inc()
 		return nil, errNoSession
@@ -496,6 +620,7 @@ func (s *Server) evictLocked() {
 	now := time.Now()
 	for id, sess := range s.sessions {
 		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
+			sess.expired.Store(true)
 			delete(s.sessions, id)
 			s.met.evicted.Inc()
 		}
@@ -508,6 +633,7 @@ func (s *Server) evictLocked() {
 				oldestID, oldest = id, sess.lastUsed
 			}
 		}
+		s.sessions[oldestID].expired.Store(true)
 		delete(s.sessions, oldestID)
 		s.met.evicted.Inc()
 	}
