@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json faults-test metrics-test parallel-test experiments demo clean
+.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test metrics-test parallel-test experiments demo clean
 
 all: fmt vet lint test build
 
@@ -36,10 +36,12 @@ lint:
 checks-test:
 	$(GO) test -race -tags bionav_checks ./...
 
-# Short fuzz runs of the differential Opt-EdgeCut target and the
-# hierarchy serialization round-trip — CI-sized smoke, not a campaign.
+# Short fuzz runs of the differential Opt-EdgeCut and PolyCut targets
+# and the hierarchy serialization round-trip — CI-sized smoke, not a
+# campaign.
 fuzz-smoke:
 	$(GO) test -run FuzzOptEdgeCut -fuzz FuzzOptEdgeCut -fuzztime 10s ./internal/core
+	$(GO) test -run FuzzPolyCut -fuzz FuzzPolyCut -fuzztime 10s ./internal/core
 	$(GO) test -run FuzzHierarchySerialization -fuzz FuzzHierarchySerialization -fuzztime 10s ./internal/hierarchy
 
 bench:
@@ -65,12 +67,30 @@ parallel-test:
 	GOMAXPROCS=4 $(GO) test -race -run 'SolveComponents|PoolLifecycle|ExpandBatch|FaultBatch|BuildParallel|GetOrBuild|ExpandAllParallel|ConcurrentExpand|SessionExpired|TTL' ./internal/core ./internal/navtree ./internal/navigate ./internal/server
 
 # Machine-readable core benchmark run, for before/after comparisons.
-# Includes the instrumentation-overhead benchmark from the repo root, plus
-# a GOMAXPROCS=4 pass of the solve-pool benchmarks so the recorded
+# Includes the instrumentation-overhead benchmark from the repo root, the
+# session-replay (solver-cache) benchmarks from internal/navigate, plus a
+# GOMAXPROCS=4 pass of the solve-pool benchmarks so the recorded
 # speedup-x / dp-speedup-x metrics reflect the parallel configuration.
+# Ends by validating the appended file's JSONL integrity (bench-check).
 bench-json:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core . > BENCH_core.json
+	$(GO) test -json -bench='BenchmarkSessionReplay' -run='^$$' ./internal/navigate >> BENCH_core.json
 	GOMAXPROCS=4 $(GO) test -json -bench='BenchmarkSolveComponents' -run='^$$' ./internal/core >> BENCH_core.json
+	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json
+
+# JSONL guard for recorded benchmark baselines: every BENCH_core.json
+# line must parse as a standalone JSON object, or before/after
+# comparisons silently read a truncated run.
+bench-check:
+	$(GO) test ./cmd/bionav-benchcheck
+	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json
+
+# Anytime-optimization gate: the PolyCut DP differential tests, the
+# grade ladder, the w8d3 anytime-beats-static acceptance scenario, and
+# the solver-cache invalidation suite — raced at a tight GOMAXPROCS so
+# the cache's undo-stack bookkeeping is exercised under contention.
+anytime-test:
+	GOMAXPROCS=4 $(GO) test -race -run 'PolyCut|Anytime|SolverCache|PolyPolicy' ./internal/core ./internal/navigate ./internal/server
 
 # Regenerate every table and figure of the paper's evaluation (§VIII).
 experiments:

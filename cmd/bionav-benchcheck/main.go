@@ -1,0 +1,83 @@
+// Command bionav-benchcheck validates machine-readable benchmark files.
+// `make bench-json` appends several `go test -json` runs into
+// BENCH_core.json, so the file's integrity invariant is JSON Lines:
+// every line must parse as a standalone JSON object. A truncated run, an
+// interleaved compiler diagnostic, or a stray shell error breaks that
+// silently — and every downstream before/after comparison with it.
+//
+//	bionav-benchcheck BENCH_core.json [more.json ...]
+//
+// Exits non-zero listing each offending line. Empty files are rejected
+// too: a bench run that produced nothing is not a baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bionav-benchcheck: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bionav-benchcheck FILE [FILE ...]")
+	}
+	bad := 0
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n, errs := checkJSONL(f)
+		f.Close()
+		if n == 0 {
+			errs = append(errs, fmt.Errorf("file is empty"))
+		}
+		for _, e := range errs {
+			fmt.Fprintf(stdout, "%s: %v\n", path, e)
+			bad++
+		}
+		if len(errs) == 0 {
+			fmt.Fprintf(stdout, "%s: %d lines ok\n", path, n)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invalid line(s)", bad)
+	}
+	return nil
+}
+
+// checkJSONL scans r line by line, returning the number of non-empty
+// lines and one error per line that is not a standalone JSON object.
+func checkJSONL(r io.Reader) (int, []error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var errs []error
+	n, lineno := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineno, err))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("line %d: %w", lineno, err))
+	}
+	return n, errs
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidJSONL(t *testing.T) {
+	p := writeFile(t, "ok.json",
+		`{"Action":"output","Output":"BenchmarkPolyCut 1 100 ns/op\n"}`+"\n"+
+			`{"Action":"pass","Package":"bionav/internal/core"}`+"\n")
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err != nil {
+		t.Fatalf("valid file rejected: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 lines ok") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestBlankLinesSkipped(t *testing.T) {
+	p := writeFile(t, "gaps.json", "{\"Action\":\"pass\"}\n\n{\"Action\":\"pass\"}\n")
+	if err := run([]string{p}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("blank separator rejected: %v", err)
+	}
+}
+
+func TestBrokenLineRejected(t *testing.T) {
+	p := writeFile(t, "broken.json",
+		`{"Action":"pass"}`+"\n"+
+			`# bionav/internal/core [build failed]`+"\n"+
+			`{"Action":"fail"`+"\n")
+	var out bytes.Buffer
+	err := run([]string{p}, &out)
+	if err == nil {
+		t.Fatal("broken file accepted")
+	}
+	if !strings.Contains(out.String(), "line 2") || !strings.Contains(out.String(), "line 3") {
+		t.Fatalf("offending lines not listed: %q", out.String())
+	}
+}
+
+func TestNonObjectLineRejected(t *testing.T) {
+	p := writeFile(t, "scalar.json", "{\"Action\":\"pass\"}\n42\n")
+	if err := run([]string{p}, new(bytes.Buffer)); err == nil {
+		t.Fatal("scalar JSON line accepted (must be an object)")
+	}
+}
+
+func TestEmptyFileRejected(t *testing.T) {
+	p := writeFile(t, "empty.json", "")
+	if err := run([]string{p}, new(bytes.Buffer)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, new(bytes.Buffer)); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if err := run(nil, new(bytes.Buffer)); err == nil {
+		t.Fatal("no-args run accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"bionav/internal/core"
 	"bionav/internal/experiments"
 	"bionav/internal/workload"
 )
@@ -34,14 +35,19 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bionav-experiments", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment to run: all | "+strings.Join(experiments.ExperimentIDs(), " | "))
-		scale = fs.String("scale", "full", "workload scale: full (48k-concept hierarchy) | small")
-		out   = fs.String("out", "", "write results to this file instead of stdout")
-		seed  = fs.Uint64("seed", 2009, "workload seed")
-		dbDir = fs.String("db", "", "reuse a workload database written by `bionav-gen -workload` instead of synthesizing")
+		exp    = fs.String("exp", "all", "experiment to run: all | "+strings.Join(experiments.ExperimentIDs(), " | "))
+		scale  = fs.String("scale", "full", "workload scale: full (48k-concept hierarchy) | small")
+		out    = fs.String("out", "", "write results to this file instead of stdout")
+		seed   = fs.Uint64("seed", 2009, "workload seed")
+		dbDir  = fs.String("db", "", "reuse a workload database written by `bionav-gen -workload` instead of synthesizing")
+		policy = fs.String("policy", "heuristic", "BioNav-arm expansion policy: heuristic, poly, opt or static")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := core.PolicyByName(*policy, 0)
+	if err != nil {
 		return err
 	}
 
@@ -77,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		r = experiments.NewRunnerFor(wl)
 		r.Clock = time.Now
+		r.Policy = pol
 	} else {
 		fmt.Fprintf(w, "BioNav experiment harness — scale=%s seed=%d\n", *scale, *seed)
 		fmt.Fprintf(w, "synthesizing workload (%d-concept hierarchy, %d queries)…\n\n",
@@ -87,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		r.Clock = time.Now
+		r.Policy = pol
 	}
 
 	if *exp == "all" {

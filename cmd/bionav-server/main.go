@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bionav"
+	"bionav/internal/core"
 	"bionav/internal/obs"
 	"bionav/internal/server"
 )
@@ -92,7 +93,8 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		dbDir   = fs.String("db", "", "BioNav database directory (from bionav-gen)")
 		demo    = fs.Bool("demo", false, "serve an in-memory demo dataset instead of -db")
 		addr    = fs.String("addr", ":8080", "listen address")
-		policyK = fs.Int("k", 10, "Heuristic-ReducedOpt reduced-tree budget")
+		policy  = fs.String("policy", "heuristic", "expansion policy: heuristic, poly, opt or static")
+		policyK = fs.Int("k", 10, "policy cut/reduction budget")
 		maxSess = fs.Int("max-sessions", 256, "maximum concurrent navigation sessions")
 		sessTTL = fs.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
 
@@ -107,6 +109,9 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if _, err := core.PolicyByName(*policy, *policyK); err != nil {
 		return nil, err
 	}
 
@@ -130,6 +135,7 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 	srv := server.New(ds, server.Config{
 		MaxSessions:  *maxSess,
 		SessionTTL:   *sessTTL,
+		Policy:       *policy,
 		PolicyK:      *policyK,
 		ExpandBudget: *expBudget,
 		MaxInFlight:  *inFlight,

@@ -63,7 +63,10 @@ func TestBuildFlagValidation(t *testing.T) {
 // Every entry must appear on /metrics of a freshly built server; `make
 // metrics-test` runs this against a real listener in CI.
 var metricCatalog = []struct{ name, kind string }{
+	{"bionav_anytime_improvements_total", "counter"},
+	{"bionav_anytime_rounds", "histogram"},
 	{"bionav_citation_cache_hits_total", "counter"},
+	{"bionav_cut_grade_total", "counter"},
 	{"bionav_citation_cache_misses_total", "counter"},
 	{"bionav_dp_aborts_total", "counter"},
 	{"bionav_dp_fold_steps_total", "counter"},
@@ -89,6 +92,9 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_sessions_evicted_total", "counter"},
 	{"bionav_sessions_live", "gauge"},
 	{"bionav_solve_component_seconds", "histogram"},
+	{"bionav_solver_cache_hits_total", "counter"},
+	{"bionav_solver_cache_invalidations_total", "counter"},
+	{"bionav_solver_cache_misses_total", "counter"},
 	{"bionav_store_load_seconds", "histogram"},
 	{"bionav_store_loads_total", "counter"},
 	{"bionav_traces_sampled_total", "counter"},

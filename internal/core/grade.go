@@ -1,0 +1,66 @@
+package core
+
+import "context"
+
+// CutGrade classifies how much optimization backed the EdgeCut an EXPAND
+// applied — the three-tier degradation ladder of docs/COSTMODEL.md §7.
+// Ordered best-first so callers can compare grades directly.
+type CutGrade int
+
+const (
+	// GradeFull: the policy's optimization ran to completion.
+	GradeFull CutGrade = iota
+	// GradeAnytime: the optimization was cut off by its deadline or
+	// budget, but at least one anytime round had finished, so the cut is
+	// the best incumbent found so far — strictly no worse than static.
+	GradeAnytime
+	// GradeStatic: the optimization was cut off before producing anything
+	// beyond the static all-children seed, or the policy failed outright
+	// and the caller substituted the static fallback.
+	GradeStatic
+)
+
+// String implements fmt.Stringer; the strings appear in span attributes,
+// metrics labels and API responses.
+func (g CutGrade) String() string {
+	switch g {
+	case GradeFull:
+		return "full"
+	case GradeAnytime:
+		return "anytime"
+	case GradeStatic:
+		return "static"
+	default:
+		return "unknown"
+	}
+}
+
+// GradeReport is the per-solve out-of-band channel a grading policy
+// (PolyCutPolicy) uses to tell its caller how complete the returned cut
+// is. It travels in the context rather than on the policy so policies
+// stay stateless and safe for the concurrent ChooseCut calls
+// SolveComponents performs. The zero value means GradeFull: policies
+// that never degrade (they return an error instead) need no changes.
+type GradeReport struct {
+	Grade  CutGrade
+	Reason string // the ctx/fault error that stopped the search; "" for full
+}
+
+type gradeReportKey struct{}
+
+// WithGradeReport installs a fresh GradeReport holder in ctx and returns
+// it. Callers that care about cut grades (navigate.Session) install one
+// per solve; each concurrent solve must get its own holder.
+func WithGradeReport(ctx context.Context) (context.Context, *GradeReport) {
+	rep := &GradeReport{}
+	return context.WithValue(ctx, gradeReportKey{}, rep), rep
+}
+
+// ReportCutGrade records the grade of the cut about to be returned into
+// the ctx's GradeReport holder, if one is installed; a no-op otherwise.
+func ReportCutGrade(ctx context.Context, g CutGrade, reason string) {
+	if rep, ok := ctx.Value(gradeReportKey{}).(*GradeReport); ok {
+		rep.Grade = g
+		rep.Reason = reason
+	}
+}

@@ -22,6 +22,18 @@ var (
 		obs.LinearBuckets(2, 2, 8)) // 2,4,…,16 supernodes; +Inf beyond
 )
 
+// PolyCut anytime-driver metrics: how deep the deepening got, how often
+// a round beat the incumbent, and the grade ladder every solve lands on.
+var (
+	anytimeRounds = obs.Default.Histogram("bionav_anytime_rounds",
+		"Deepening rounds completed per PolyCut anytime solve.",
+		obs.LinearBuckets(1, 1, 8)) // 1,2,…,8 rounds; +Inf beyond
+	anytimeImprovements = obs.Default.Counter("bionav_anytime_improvements_total",
+		"PolyCut rounds whose candidate cut displaced the incumbent.")
+	cutGrades = obs.Default.CounterVec("bionav_cut_grade_total",
+		"PolyCut solves by final cut grade (full, anytime, static).", "grade")
+)
+
 // Worker-pool metrics for the parallel EXPAND pipeline. Gauges aggregate
 // over every live pool in the process (tests run several); the histogram
 // times one component's ChooseCut, pooled or inline.

@@ -113,6 +113,11 @@ type ComponentCut struct {
 	Root navtree.NodeID
 	Cut  []Edge
 	Err  error
+	// Grade reports how complete the solve behind Cut was; policies that
+	// don't grade leave the zero value, GradeFull. Reason carries the
+	// grading policy's abort cause for degraded grades.
+	Grade  CutGrade
+	Reason string
 }
 
 // SolveComponents runs policy.ChooseCut for every listed component root,
@@ -141,7 +146,12 @@ func SolveComponents(ctx context.Context, pool *Pool, at *ActiveTree, policy Pol
 		}()
 		stop := obs.Time(solveSeconds)
 		defer stop()
-		out[i].Cut, out[i].Err = policy.ChooseCut(ctx, at, ordered[i])
+		// Each solve gets its own GradeReport holder: the holder is
+		// written by the solving goroutine and read only after wg.Wait,
+		// so concurrent components never share one.
+		sctx, rep := WithGradeReport(ctx)
+		out[i].Cut, out[i].Err = policy.ChooseCut(sctx, at, ordered[i])
+		out[i].Grade, out[i].Reason = rep.Grade, rep.Reason
 	}
 	if pool == nil {
 		for i := range ordered {

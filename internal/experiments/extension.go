@@ -133,7 +133,7 @@ func (r *Runner) Refinement() (*Table, error) {
 		if targetTotal > 0 {
 			recall = 100 * float64(targetKept) / float64(targetTotal)
 		}
-		bio, err := r.simulate(q, bioNavPolicy())
+		bio, err := r.simulate(q, r.bioNavPolicy())
 		if err != nil {
 			return nil, err
 		}

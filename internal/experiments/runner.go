@@ -23,6 +23,11 @@ type Runner struct {
 	// bionav-experiments command injects time.Now.
 	Clock navigate.Clock
 
+	// Policy overrides the "BioNav" arm of every experiment; nil runs the
+	// paper's Heuristic-ReducedOpt. The bionav-experiments command wires
+	// its -policy flag here (core.PolicyByName).
+	Policy core.Policy
+
 	navs    *navtree.Cache
 	targets map[string]navtree.NodeID
 	sims    map[string]map[string]navigate.SimResult // policy → keyword → result
@@ -84,7 +89,14 @@ func (r *Runner) simulate(q *workload.Query, policy core.Policy) (navigate.SimRe
 	return res, nil
 }
 
-func bioNavPolicy() *core.HeuristicReducedOpt { return core.NewHeuristicReducedOpt() }
+// bioNavPolicy is the policy behind each experiment's "BioNav" arm: the
+// Runner's injected override when set, else the paper's default.
+func (r *Runner) bioNavPolicy() core.Policy {
+	if r.Policy != nil {
+		return r.Policy
+	}
+	return core.NewHeuristicReducedOpt()
+}
 
 // TableI reports the workload characteristics exactly as the paper's
 // Table I: query-result size, navigation-tree shape, duplicate counts, and
@@ -131,7 +143,7 @@ func (r *Runner) Fig8() (*Table, error) {
 		Title:   "Navigation cost: BioNav (Heuristic-ReducedOpt) vs static navigation",
 		Columns: []string{"Keyword(s)", "Static", "BioNav", "Improvement"},
 	}
-	bio := bioNavPolicy()
+	bio := r.bioNavPolicy()
 	var sumImp float64
 	for i := range r.W.Queries {
 		q := &r.W.Queries[i]
@@ -166,7 +178,7 @@ func (r *Runner) Fig9() (*Table, error) {
 		Title:   "EXPAND actions: BioNav vs static navigation",
 		Columns: []string{"Keyword(s)", "Static", "BioNav"},
 	}
-	bio := bioNavPolicy()
+	bio := r.bioNavPolicy()
 	for i := range r.W.Queries {
 		q := &r.W.Queries[i]
 		b, err := r.simulate(q, bio)
@@ -195,7 +207,7 @@ func (r *Runner) Fig10() (*Table, error) {
 		Title:   "Heuristic-ReducedOpt mean execution time per EXPAND",
 		Columns: []string{"Keyword(s)", "EXPANDs", "Avg |T_R|", "Avg time"},
 	}
-	bio := bioNavPolicy()
+	bio := r.bioNavPolicy()
 	for i := range r.W.Queries {
 		q := &r.W.Queries[i]
 		b, err := r.simulate(q, bio)
@@ -229,7 +241,7 @@ func (r *Runner) Fig11() (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: workload has no prothymosin query")
 	}
-	b, err := r.simulate(q, bioNavPolicy())
+	b, err := r.simulate(q, r.bioNavPolicy())
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +285,7 @@ func (r *Runner) Intro() (*Table, error) {
 			break
 		}
 	}
-	bio, err := navigate.SimulateToTargetsClocked(nav, bioNavPolicy(), targets, false, r.Clock)
+	bio, err := navigate.SimulateToTargetsClocked(nav, r.bioNavPolicy(), targets, false, r.Clock)
 	if err != nil {
 		return nil, err
 	}

@@ -95,6 +95,7 @@ func (s *Session) replayExpand(node navtree.NodeID, cut []core.Edge) error {
 	if err != nil {
 		return err
 	}
+	s.cache.onExpand(node, cut)
 	s.cost.Expands++
 	s.cost.ConceptsRevealed += len(revealed)
 	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})

@@ -72,6 +72,7 @@ type Session struct {
 	policy core.Policy
 	log    []Action
 	cost   Cost
+	cache  *solverCache
 }
 
 // NewSession starts a navigation over nav using policy for EXPAND actions.
@@ -86,7 +87,7 @@ func NewSession(nav *navtree.Tree, policy core.Policy) *Session {
 			check.Model(p.Model)
 		}
 	}
-	return &Session{at: core.NewActiveTree(nav), policy: policy}
+	return &Session{at: core.NewActiveTree(nav), policy: policy, cache: newSolverCache()}
 }
 
 // Active exposes the underlying active tree (read-only use expected).
@@ -111,15 +112,20 @@ func (s *Session) Expand(node navtree.NodeID) ([]navtree.NodeID, error) {
 }
 
 // ExpandResult reports one EXPAND's outcome: the revealed concepts plus
-// whether the policy's optimization was abandoned for the static
-// fallback, and why.
+// how complete the optimization behind the applied cut was.
 type ExpandResult struct {
 	Revealed []navtree.NodeID
-	// Degraded is true when the policy cut was cut off by ctx and the
-	// static all-children EdgeCut was applied instead. The expansion is
-	// still a valid navigation step — only its cost optimality is lost.
+	// Grade is the applied cut's optimization grade (docs/COSTMODEL.md §7
+	// ladder): GradeFull for a completed solve or a cache hit, GradeAnytime
+	// for an anytime policy's best-so-far incumbent, GradeStatic for the
+	// all-children fallback.
+	Grade core.CutGrade
+	// Degraded is true when the applied cut is anything less than
+	// GradeFull — the deadline or an injected fault cut the optimization
+	// short. The expansion is still a valid navigation step — only its
+	// cost optimality is lost.
 	Degraded bool
-	// Reason is the ctx error that forced the degradation ("context
+	// Reason is the ctx/fault error that forced the degradation ("context
 	// deadline exceeded", "context canceled"); empty when not degraded.
 	Reason string
 }
@@ -141,12 +147,40 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 	ctx, sp = obs.StartChild(ctx, "expand")
 	defer sp.End()
 	sp.SetAttr("node", int64(node))
+	sp.SetAttr("policy", s.policy.Name())
 	var res ExpandResult
-	cut, err := s.policy.ChooseCut(ctx, s.at, node)
+
+	// Fast path: a cut solved for this exact component earlier in the
+	// session (see solvercache.go). The cached cut is applied without
+	// re-validation by check.EdgeCut — if it no longer applies, the
+	// failure is absorbed as a miss and the policy runs normally.
+	if cut, ok := s.cache.lookup(s.at, node, s.policy.Name()); ok {
+		if revealed, err := s.at.Expand(node, cut); err == nil {
+			check.ActiveTree(s.at)
+			s.cache.onExpand(node, cut)
+			s.cost.Expands++
+			s.cost.ConceptsRevealed += len(revealed)
+			s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})
+			res.Revealed = revealed
+			sp.SetAttr("solver_cache", "hit")
+			sp.SetAttr("grade", core.GradeFull.String())
+			sp.SetAttr("revealed", len(revealed))
+			return res, nil
+		}
+		s.cache.invalidate(node)
+	}
+	sp.SetAttr("solver_cache", "miss")
+
+	// Each EXPAND gets its own GradeReport holder: grading policies
+	// (PolyCutPolicy) absorb deadline expiry into the grade instead of
+	// erroring, and the holder carries that outcome back.
+	sctx, rep := core.WithGradeReport(ctx)
+	cut, err := s.policy.ChooseCut(sctx, s.at, node)
 	if err != nil {
 		if !isContextErr(ctx, err) {
 			return ExpandResult{}, err // logical failure: degradation can't help
 		}
+		res.Grade = core.GradeStatic
 		res.Degraded = true
 		res.Reason = reasonFor(ctx, err)
 		// The fallback runs without the expired ctx: StaticAll is a plain
@@ -156,6 +190,12 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 		if err != nil {
 			return ExpandResult{}, fmt.Errorf("navigate: degraded EXPAND fallback: %w", err)
 		}
+	} else if res.Grade = rep.Grade; rep.Grade != core.GradeFull {
+		res.Degraded = true
+		res.Reason = rep.Reason
+	}
+	if res.Grade == core.GradeFull {
+		s.cache.store(s.at, node, s.policy.Name(), cut)
 	}
 	check.EdgeCut(s.at, node, cut)
 	revealed, err := s.at.Expand(node, cut)
@@ -163,10 +203,12 @@ func (s *Session) ExpandContext(ctx context.Context, node navtree.NodeID) (Expan
 		return ExpandResult{}, err
 	}
 	check.ActiveTree(s.at)
+	s.cache.onExpand(node, cut)
 	s.cost.Expands++
 	s.cost.ConceptsRevealed += len(revealed)
 	s.log = append(s.log, Action{Kind: ActionExpand, Node: node, Revealed: revealed})
 	res.Revealed = revealed
+	sp.SetAttr("grade", res.Grade.String())
 	sp.SetAttr("revealed", len(revealed))
 	if res.Degraded {
 		sp.SetAttr("degraded", true)
@@ -225,6 +267,10 @@ func (s *Session) Ignore(node navtree.NodeID) error {
 	if !s.at.IsVisible(node) {
 		return fmt.Errorf("navigate: IGNORE on hidden node %d", node)
 	}
+	// Conservatively drop the touched component's cached solve: a policy
+	// may weigh user dismissals in a future cost model, and the entry is
+	// cheap to recompute.
+	s.cache.invalidate(s.at.ComponentOf(node))
 	s.log = append(s.log, Action{Kind: ActionIgnore, Node: node})
 	return nil
 }
@@ -235,6 +281,7 @@ func (s *Session) Backtrack() error {
 	if err := s.at.Backtrack(); err != nil {
 		return err
 	}
+	s.cache.onBacktrack()
 	s.log = append(s.log, Action{Kind: ActionBacktrack, Node: -1})
 	return nil
 }

@@ -1,0 +1,134 @@
+package navigate
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bionav/internal/core"
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
+	"bionav/internal/navtree"
+)
+
+// benchNav builds the session-replay workload: a 1500-concept hierarchy
+// with enough annotated citations that every EXPAND runs a full
+// k-partition + DP solve — the cost the solver cache exists to avoid
+// paying twice.
+func benchNav(b *testing.B) *navtree.Tree {
+	b.Helper()
+	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 401, Nodes: 1500, TopLevel: 12, MaxDepth: 9})
+	corp := corpus.Generate(tree, corpus.GenConfig{
+		Seed: 408, Citations: 400, MeanConcepts: 40, FirstID: 1, YearLo: 2000, YearHi: 2008,
+	})
+	nav := navtree.Build(corp, corp.IDs())
+	if err := nav.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return nav
+}
+
+// replaySession expands the root and returns the session plus up to six
+// revealed components worth expanding — the fixed EXPAND sequence every
+// replay round repeats. The root expand itself stays on the undo stack
+// for the whole benchmark: backtracking past it would tear down the very
+// components the rounds revisit (and, correctly, their cache entries).
+func replaySession(b *testing.B, nav *navtree.Tree, cached bool) (*Session, []navtree.NodeID) {
+	b.Helper()
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	s.SetSolverCaching(cached)
+	res, err := s.ExpandContext(context.Background(), nav.Root())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var script []navtree.NodeID
+	for _, r := range res.Revealed {
+		if s.Active().ComponentSize(r) >= 2 {
+			script = append(script, r)
+			if len(script) == 6 {
+				break
+			}
+		}
+	}
+	if len(script) < 3 {
+		b.Fatalf("workload too shallow: script %v", script)
+	}
+	return s, script
+}
+
+// runScript plays the EXPAND sequence forward; rewind undoes it.
+func runScript(b *testing.B, s *Session, script []navtree.NodeID) {
+	b.Helper()
+	for _, n := range script {
+		if _, err := s.ExpandContext(context.Background(), n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func rewind(b *testing.B, s *Session, steps int) {
+	b.Helper()
+	for i := 0; i < steps; i++ {
+		if err := s.Backtrack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionReplay times one BACKTRACK-all + re-EXPAND-all round
+// over a session's first-level components. The warm arm replays against
+// the solver cache (every re-EXPAND is a hit — the entries are restored
+// as BACKTRACK pops their own undo frames); the cold arm runs the same
+// session with caching disabled, paying the policy solve again each
+// round.
+func BenchmarkSessionReplay(b *testing.B) {
+	nav := benchNav(b)
+	arm := func(b *testing.B, cached bool) {
+		s, script := replaySession(b, nav, cached)
+		runScript(b, s, script)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rewind(b, s, len(script))
+			runScript(b, s, script)
+		}
+		b.StopTimer()
+		if cached {
+			if st := s.SolverCacheStats(); st.Hits < b.N*len(script) {
+				b.Fatalf("warm arm missed the cache: %+v after %d rounds", st, b.N)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { arm(b, false) })
+	b.Run("warm", func(b *testing.B) { arm(b, true) })
+}
+
+// BenchmarkSessionReplaySpeedup reports the cold-over-warm ratio of the
+// replay round as speedup-x (the issue's acceptance floor is 1.5). Timed
+// by hand for the same reason as BenchmarkSolveComponentsSpeedup:
+// testing.Benchmark cannot nest inside a running benchmark.
+func BenchmarkSessionReplaySpeedup(b *testing.B) {
+	nav := benchNav(b)
+	const warmups, iters = 2, 10
+	arm := func(cached bool) float64 {
+		s, script := replaySession(b, nav, cached)
+		runScript(b, s, script)
+		round := func() {
+			rewind(b, s, len(script))
+			runScript(b, s, script)
+		}
+		for i := 0; i < warmups; i++ {
+			round()
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			round()
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+	speedup := arm(false) / arm(true)
+	for i := 0; i < b.N; i++ {
+		// One-shot measurement; nothing to repeat.
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}

@@ -1,0 +1,173 @@
+package navigate
+
+import (
+	"bionav/internal/core"
+	"bionav/internal/navtree"
+	"bionav/internal/obs"
+)
+
+// Solver-state reuse across EXPANDs (docs/COSTMODEL.md §7): a session
+// keeps the policy's chosen cut per component root, so re-expanding a
+// component the session has already solved — the BACKTRACK-then-EXPAND
+// pattern every exploration session produces, and the whole of a replay —
+// skips the policy entirely and applies the remembered cut.
+//
+// Correctness rests on precise invalidation, not TTLs: the only events
+// that change what a component's optimal cut is are the session's own
+// mutations, and each of them touches known roots. EXPAND(r) consumes
+// component r (the entry moves into an undo frame mirroring the active
+// tree's own undo stack); BACKTRACK restores the pre-EXPAND entry and
+// drops entries for the components the undone EXPAND had created; IGNORE
+// conservatively drops the touched component's entry. Entries additionally
+// carry the component size and policy name at solve time as a staleness
+// belt, and a cached cut that nonetheless fails to apply is discarded and
+// re-solved — a cache fault degrades to a miss, never to a wrong cut.
+//
+// Only GradeFull cuts are cached: an anytime or static cut is an artifact
+// of one EXPAND's deadline, not a property of the component.
+
+// Process-wide cache metrics on the default registry; the per-session
+// view is SolverCacheStats.
+var (
+	cacheHits = obs.Default.Counter("bionav_solver_cache_hits_total",
+		"EXPANDs answered from the session solver cache (policy skipped).")
+	cacheMisses = obs.Default.Counter("bionav_solver_cache_misses_total",
+		"EXPANDs that had to run the policy (no usable cached cut).")
+	cacheInvalidations = obs.Default.Counter("bionav_solver_cache_invalidations_total",
+		"Solver-cache entries dropped by Expand/Ignore/Backtrack or staleness.")
+)
+
+// SolverCacheStats is one session's cache scoreboard.
+type SolverCacheStats struct {
+	Hits          int
+	Misses        int
+	Invalidations int
+}
+
+// cutEntry is one cached solve: the cut plus the component size and
+// policy name it was solved under (the staleness belt).
+type cutEntry struct {
+	cut    []core.Edge
+	size   int
+	policy string
+}
+
+// cacheUndo mirrors one ActiveTree undo frame: which root the EXPAND
+// consumed, the entry it held, and the lower-component roots the EXPAND
+// created (whose entries a BACKTRACK must drop).
+type cacheUndo struct {
+	root  navtree.NodeID
+	prev  cutEntry
+	had   bool
+	lower []navtree.NodeID
+}
+
+type solverCache struct {
+	enabled bool
+	entries map[navtree.NodeID]cutEntry
+	undo    []cacheUndo
+	stats   SolverCacheStats
+}
+
+func newSolverCache() *solverCache {
+	return &solverCache{enabled: true, entries: make(map[navtree.NodeID]cutEntry)}
+}
+
+// lookup returns the cached cut for root if it is usable under the given
+// policy and the component's current size; it counts the hit or miss.
+// A present-but-stale entry is dropped on the way to the miss.
+func (c *solverCache) lookup(at *core.ActiveTree, root navtree.NodeID, policy string) ([]core.Edge, bool) {
+	if !c.enabled {
+		return nil, false
+	}
+	if e, ok := c.entries[root]; ok {
+		if e.policy == policy && e.size == at.ComponentSize(root) {
+			c.stats.Hits++
+			cacheHits.Add(1)
+			return e.cut, true
+		}
+		c.invalidate(root)
+	}
+	c.stats.Misses++
+	cacheMisses.Add(1)
+	return nil, false
+}
+
+// store remembers a freshly solved full-grade cut for root.
+func (c *solverCache) store(at *core.ActiveTree, root navtree.NodeID, policy string, cut []core.Edge) {
+	if !c.enabled {
+		return
+	}
+	c.entries[root] = cutEntry{
+		cut:    append([]core.Edge(nil), cut...),
+		size:   at.ComponentSize(root),
+		policy: policy,
+	}
+}
+
+// invalidate drops root's entry if present.
+func (c *solverCache) invalidate(root navtree.NodeID) {
+	if _, ok := c.entries[root]; ok {
+		delete(c.entries, root)
+		c.stats.Invalidations++
+		cacheInvalidations.Add(1)
+	}
+}
+
+// onExpand records one applied EXPAND, mirroring ActiveTree.pushUndo:
+// root's entry (the one this EXPAND may have just consumed) moves into
+// the undo frame, and the cut children — the new lower-component roots —
+// are remembered so a BACKTRACK can drop whatever gets cached for them.
+// Called on every successful Expand, cached or solved, so the two undo
+// stacks stay index-aligned.
+func (c *solverCache) onExpand(root navtree.NodeID, cut []core.Edge) {
+	f := cacheUndo{root: root}
+	if e, ok := c.entries[root]; ok {
+		f.prev, f.had = e, true
+		delete(c.entries, root)
+	}
+	f.lower = make([]navtree.NodeID, len(cut))
+	for i, e := range cut {
+		f.lower[i] = e.Child
+	}
+	c.undo = append(c.undo, f)
+}
+
+// onBacktrack undoes the most recent onExpand: entries solved for the
+// now-gone upper remainder and lower components are dropped, and the
+// pre-EXPAND entry is restored — the restored component is exactly the
+// one that cut was solved for.
+func (c *solverCache) onBacktrack() {
+	if len(c.undo) == 0 {
+		return
+	}
+	f := c.undo[len(c.undo)-1]
+	c.undo = c.undo[:len(c.undo)-1]
+	c.invalidate(f.root)
+	for _, r := range f.lower {
+		c.invalidate(r)
+	}
+	if f.had {
+		c.entries[f.root] = f.prev
+	}
+}
+
+// setEnabled toggles caching. Either direction clears the entries and
+// strips saved entries from the undo frames: frames keep mirroring the
+// active tree's undo stack (the lower lists still drive drops), but no
+// cut solved under the other setting can ever be restored.
+func (c *solverCache) setEnabled(on bool) {
+	c.enabled = on
+	c.entries = make(map[navtree.NodeID]cutEntry)
+	for i := range c.undo {
+		c.undo[i].had = false
+		c.undo[i].prev = cutEntry{}
+	}
+}
+
+// SetSolverCaching enables or disables the session's solver cache
+// (enabled by default). Toggling drops all cached state either way.
+func (s *Session) SetSolverCaching(on bool) { s.cache.setEnabled(on) }
+
+// SolverCacheStats returns the session's cache scoreboard.
+func (s *Session) SolverCacheStats() SolverCacheStats { return s.cache.stats }

@@ -1,0 +1,242 @@
+package navigate
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"bionav/internal/core"
+	"bionav/internal/navtree"
+)
+
+// expandableChild returns a child component of an expanded root that can
+// itself be expanded (component size ≥ 2).
+func expandableChild(t *testing.T, s *Session, revealed []navtree.NodeID) navtree.NodeID {
+	t.Helper()
+	for _, r := range revealed {
+		if s.Active().ComponentSize(r) >= 2 {
+			return r
+		}
+	}
+	t.Fatal("no expandable child component")
+	return -1
+}
+
+// TestSolverCacheReplayHit is the cache's reason to exist: BACKTRACK then
+// EXPAND on the same component must reuse the recorded cut — identical
+// revealed set, no second policy run — observable in the per-session
+// stats and the process-wide obs counters.
+func TestSolverCacheReplayHit(t *testing.T) {
+	nav := buildNav(t, 301, 150, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+
+	hits0, miss0 := cacheHits.Value(), cacheMisses.Value()
+	first, err := s.ExpandContext(context.Background(), nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Grade != core.GradeFull || first.Degraded {
+		t.Fatalf("unbounded expand came back %+v", first)
+	}
+	if got := s.SolverCacheStats(); got.Hits != 0 || got.Misses != 1 {
+		t.Fatalf("stats after first expand = %+v", got)
+	}
+	if cacheMisses.Value() != miss0+1 {
+		t.Fatal("global miss counter did not move")
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.ExpandContext(context.Background(), nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Revealed, second.Revealed) {
+		t.Fatalf("replayed expand revealed %v, first %v", second.Revealed, first.Revealed)
+	}
+	if second.Grade != core.GradeFull {
+		t.Fatalf("cache hit graded %v", second.Grade)
+	}
+	if got := s.SolverCacheStats(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("stats after replay = %+v", got)
+	}
+	if cacheHits.Value() != hits0+1 {
+		t.Fatal("global hit counter did not move")
+	}
+}
+
+// TestSolverCachePreciseInvalidation checks the entry lifecycle against
+// every mutating action: expanding a sibling must not disturb another
+// component's restored entry, and BACKTRACK drops entries solved for the
+// components the undone EXPAND created.
+func TestSolverCachePreciseInvalidation(t *testing.T) {
+	nav := buildNav(t, 302, 160, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+
+	root := nav.Root()
+	res, err := s.ExpandContext(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := expandableChild(t, s, res.Revealed)
+	if _, err := s.ExpandContext(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	// Undo A's expand: its entry is restored from the undo frame.
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	// Expand a different sibling component; A's restored entry survives.
+	var b navtree.NodeID = -1
+	for _, r := range res.Revealed {
+		if r != a && s.Active().ComponentSize(r) >= 2 {
+			b = r
+			break
+		}
+	}
+	if b >= 0 {
+		if _, err := s.ExpandContext(context.Background(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.SolverCacheStats()
+	again, err := s.ExpandContext(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.SolverCacheStats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("re-expanding %d after sibling expand: stats %+v -> %+v, want a pure hit", a, before, after)
+	}
+	if again.Grade != core.GradeFull {
+		t.Fatalf("hit graded %v", again.Grade)
+	}
+
+	// Backtracking A's replay drops nothing extra, restores A's entry;
+	// backtracking further unwinds to the frame whose lower components
+	// include A — entries under it must be gone afterwards.
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.SolverCacheStats()
+	next, err := s.ExpandContext(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SolverCacheStats(); got.Hits != st.Hits+1 {
+		t.Fatalf("entry for %d not restored by backtrack: %+v -> %+v", a, st, got)
+	}
+	if !reflect.DeepEqual(next.Revealed, again.Revealed) {
+		t.Fatalf("restored cut revealed %v, want %v", next.Revealed, again.Revealed)
+	}
+}
+
+// TestSolverCacheIgnoreInvalidates: IGNORE conservatively drops the
+// touched component's entry, forcing the next EXPAND to re-solve.
+func TestSolverCacheIgnoreInvalidates(t *testing.T) {
+	nav := buildNav(t, 303, 140, 30)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	root := nav.Root()
+	if _, err := s.ExpandContext(context.Background(), root); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	// The root component's entry was just restored; IGNORE on the visible
+	// root drops it.
+	inv0 := s.SolverCacheStats().Invalidations
+	if err := s.Ignore(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SolverCacheStats().Invalidations; got != inv0+1 {
+		t.Fatalf("invalidations after IGNORE = %d, want %d", got, inv0+1)
+	}
+	before := s.SolverCacheStats()
+	if _, err := s.ExpandContext(context.Background(), root); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SolverCacheStats(); got.Misses != before.Misses+1 || got.Hits != before.Hits {
+		t.Fatalf("expand after IGNORE: stats %+v -> %+v, want a miss", before, got)
+	}
+}
+
+// TestSolverCacheDisabled: SetSolverCaching(false) keeps the session
+// fully functional with every lookup skipped.
+func TestSolverCacheDisabled(t *testing.T) {
+	nav := buildNav(t, 304, 120, 25)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	s.SetSolverCaching(false)
+	if _, err := s.ExpandContext(context.Background(), nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExpandContext(context.Background(), nav.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SolverCacheStats(); got.Hits != 0 || got.Misses != 0 {
+		t.Fatalf("disabled cache counted %+v", got)
+	}
+}
+
+// TestSolverCacheBatchReplay: a batch EXPAND over components the session
+// has already solved pre-checks the cache and solves only the misses, and
+// the batch's own applies keep the undo mirror aligned (BACKTRACK undoes
+// them one component at a time).
+func TestSolverCacheBatchReplay(t *testing.T) {
+	nav := buildNav(t, 305, 200, 35)
+	s := NewSession(nav, core.NewHeuristicReducedOpt())
+	pool := core.NewPool(4)
+	defer pool.Close()
+
+	res, err := s.ExpandContext(context.Background(), nav.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roots []navtree.NodeID
+	for _, r := range res.Revealed {
+		if s.Active().ComponentSize(r) >= 2 {
+			roots = append(roots, r)
+		}
+	}
+	if len(roots) < 2 {
+		t.Skip("fixture revealed fewer than two expandable components")
+	}
+	// Solve one of them serially, undo it, then batch over all: that one
+	// must be a cache hit, the rest misses.
+	if _, err := s.ExpandContext(context.Background(), roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Backtrack(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.SolverCacheStats()
+	out, err := s.ExpandBatchContext(context.Background(), pool, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.SolverCacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("batch over %d roots: stats %+v -> %+v, want exactly one hit", len(roots), before, after)
+	}
+	if after.Misses != before.Misses+len(roots)-1 {
+		t.Fatalf("batch misses: %+v -> %+v, want %d new", before, after, len(roots)-1)
+	}
+	for _, cr := range out {
+		if cr.Grade != core.GradeFull || cr.Degraded {
+			t.Fatalf("batch component %d degraded: %+v", cr.Node, cr.ExpandResult)
+		}
+	}
+	// Unwind the whole batch plus the root expand; the undo mirror must
+	// never desync (panics/wrong restores would surface here).
+	for i := 0; i < len(roots)+1; i++ {
+		if err := s.Backtrack(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Active().VisibleRoots(); len(got) != 1 || got[0] != nav.Root() {
+		t.Fatalf("visible roots after full unwind = %v", got)
+	}
+}

@@ -46,7 +46,8 @@ import (
 type Config struct {
 	MaxSessions  int           // evict oldest beyond this many (default 256)
 	SessionTTL   time.Duration // evict sessions idle longer than this (default 30m)
-	PolicyK      int           // Heuristic-ReducedOpt budget (default 10)
+	Policy       string        // expansion policy name, per core.PolicyByName (default "heuristic")
+	PolicyK      int           // policy cut/reduction budget (default 10)
 	NavCacheSize int           // navigation trees cached across queries (default 128; negative disables)
 	Workers      int           // solve-pool workers for parallel EXPAND and sharded tree builds (0 = GOMAXPROCS; negative disables the pool)
 
@@ -71,6 +72,11 @@ func (c *Config) fill() {
 	}
 	if c.PolicyK <= 0 {
 		c.PolicyK = 10
+	}
+	// An unknown policy name normalizes to the default here so a Server is
+	// always constructible; bionav-server validates the flag loudly first.
+	if _, err := core.PolicyByName(c.Policy, c.PolicyK); err != nil {
+		c.Policy = "heuristic"
 	}
 	if c.NavCacheSize == 0 {
 		c.NavCacheSize = 128
@@ -272,10 +278,13 @@ type stateResponse struct {
 	Cost     costView `json:"cost"`
 	Tree     nodeView `json:"tree"`
 	// Degraded is set on an EXPAND response whose EdgeCut optimization ran
-	// out its budget and fell back to the static all-children cut; Reason
-	// carries the context error ("context deadline exceeded", …).
+	// out its budget and fell back to a lesser cut; Reason carries the
+	// context error ("context deadline exceeded", …). Grade names the rung
+	// of the degradation ladder the applied cut sits on ("full", "anytime",
+	// "static") — for a batch, the worst rung across its components.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	Grade          string `json:"grade,omitempty"`
 	// DegradedComponents counts the components of a batch EXPAND
 	// (/api/expandall) that fell back to the static cut.
 	DegradedComponents int `json:"degradedComponents,omitempty"`
@@ -307,6 +316,16 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// newPolicy builds a session's expansion policy from the config; the
+// name was validated by fill, so resolution cannot fail here.
+func (s *Server) newPolicy() core.Policy {
+	p, err := core.PolicyByName(s.cfg.Policy, s.cfg.PolicyK)
+	if err != nil {
+		p = &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
+	}
+	return p
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -318,8 +337,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
-	sess := navigate.NewSession(nav, policy)
+	sess := navigate.NewSession(nav, s.newPolicy())
 
 	id := s.register(&session{nav: sess, keywords: req.Keywords, lastUsed: time.Now()})
 	s.writeState(w, id)
@@ -360,6 +378,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
+	resp.Grade = res.Grade.String()
 	if res.Degraded {
 		s.met.degraded.Inc()
 		markDegraded(ctx)
@@ -429,7 +448,11 @@ func (s *Server) handleExpandAll(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
+	worst := core.GradeFull
 	for _, cr := range results {
+		if cr.Grade > worst {
+			worst = cr.Grade
+		}
 		if !cr.Degraded {
 			continue
 		}
@@ -441,6 +464,7 @@ func (s *Server) handleExpandAll(w http.ResponseWriter, r *http.Request) {
 			resp.DegradedReason = cr.Reason
 		}
 	}
+	resp.Grade = worst.String()
 	if resp.Degraded && errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		s.met.timeouts.Inc()
 	}
@@ -541,8 +565,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	policy := &core.HeuristicReducedOpt{K: s.cfg.PolicyK, Model: core.DefaultCostModel()}
-	restored, err := navigate.Replay(nav, policy, bytes.NewReader(req.Session))
+	restored, err := navigate.Replay(nav, s.newPolicy(), bytes.NewReader(req.Session))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -566,6 +589,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"concepts":        s.ds.Tree.Len(),
 		"citations":       s.ds.Corpus.Len(),
 		"terms":           s.ds.Index.Terms(),
+		"policy":          s.newPolicy().Name(),
 		"sessions":        active,
 		"sessions_live":   active,
 		"queue_depth":     queueDepth,

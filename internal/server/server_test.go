@@ -221,12 +221,15 @@ func TestStatsAndIndexPage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats map[string]int
+	var stats map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["concepts"] != srv.ds.Tree.Len() || stats["citations"] != srv.ds.Corpus.Len() {
+	if int(stats["concepts"].(float64)) != srv.ds.Tree.Len() || int(stats["citations"].(float64)) != srv.ds.Corpus.Len() {
 		t.Fatalf("stats = %v", stats)
+	}
+	if stats["policy"] != "Heuristic-ReducedOpt" {
+		t.Fatalf("stats policy = %v, want the default Heuristic-ReducedOpt", stats["policy"])
 	}
 
 	page, err := http.Get(ts.URL + "/")
@@ -240,6 +243,46 @@ func TestStatsAndIndexPage(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "BioNav") || !strings.Contains(page.Header.Get("Content-Type"), "text/html") {
 		t.Fatal("index page malformed")
+	}
+}
+
+// TestPolyPolicyConfig wires Config.Policy through to sessions: stats
+// names the selected policy and /api/expand carries the cut grade.
+func TestPolyPolicyConfig(t *testing.T) {
+	srv, ts := testServer(t, Config{Policy: "poly"})
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["policy"] != "Poly-Anytime" {
+		t.Fatalf("stats policy = %v, want Poly-Anytime", stats["policy"])
+	}
+
+	qResp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	if qResp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", qResp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Session string `json:"session"`
+	}
+	reencode(t, raw, &state)
+	eResp, raw := postJSON(t, ts.URL+"/api/expand", map[string]any{"session": state.Session, "node": 0})
+	if eResp.StatusCode != http.StatusOK {
+		t.Fatalf("expand status %d: %s", eResp.StatusCode, raw["error"])
+	}
+	var after struct {
+		Grade    string `json:"grade"`
+		Degraded bool   `json:"degraded"`
+	}
+	reencode(t, raw, &after)
+	if after.Grade != "full" || after.Degraded {
+		t.Fatalf("undeadlined expand grade = %q (degraded=%v), want full", after.Grade, after.Degraded)
 	}
 }
 
