@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test metrics-test parallel-test experiments demo clean
+.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test experiments demo clean
 
 all: fmt vet lint test build
 
@@ -48,9 +48,17 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Fault-injection suite: every TestFault* arms internal/faults failpoints
-# to prove the degradation paths fire (see docs/RESILIENCE.md).
+# to prove the degradation paths fire (see docs/RESILIENCE.md) — including
+# the journal's append/fsync/recover sites.
 faults-test:
 	$(GO) test -race -run '^TestFault' ./...
+
+# Crash-recovery gate: a real journaled server subprocess is kill -9'd
+# mid-EXPAND and restarted on the same journal directory; every
+# acknowledged action must recover byte-identically and the in-flight one
+# must not corrupt anything (docs/RESILIENCE.md §5).
+chaos-test:
+	BIONAV_CHAOS=1 $(GO) test -race -run '^TestChaos' -count=1 -v ./internal/server
 
 # Observability gate: boots bionav-server against a synthetic corpus,
 # scrapes /metrics, and fails if any metric in the catalog

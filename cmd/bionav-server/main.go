@@ -21,6 +21,7 @@ import (
 
 	"bionav"
 	"bionav/internal/core"
+	"bionav/internal/journal"
 	"bionav/internal/obs"
 	"bionav/internal/server"
 )
@@ -55,7 +56,9 @@ func main() {
 		Handler:           server.Middleware(app.handler, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	// Graceful shutdown: finish in-flight navigations on SIGINT/SIGTERM.
+	// Graceful shutdown on SIGINT/SIGTERM: drain first (readiness flips,
+	// queued waiters are released, in-flight navigations finish, the
+	// journal is checkpointed and closed), then close the listeners.
 	done := make(chan error, 1)
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -64,7 +67,11 @@ func main() {
 		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		done <- srv.Shutdown(ctx)
+		err := app.srv.Drain(ctx)
+		if serr := srv.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
+		done <- err
 	}()
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve failed", "error", err)
@@ -81,6 +88,7 @@ func main() {
 // sockets. Split out for testing.
 type app struct {
 	handler      http.Handler
+	srv          *server.Server
 	addr         string
 	debugAddr    string
 	debugHandler http.Handler
@@ -106,6 +114,9 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty disables)")
 		traceSample = fs.Int("trace-sample", 0, "capture and log every Nth request's span tree (0 disables)")
+
+		journalDir = fs.String("journal", "", "session write-ahead log directory; sessions survive crashes and restarts (empty disables durability)")
+		fsyncMode  = fs.String("fsync", "always", "journal fsync policy: always (every append), interval (background flush) or off")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +143,21 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		return nil, fmt.Errorf("pass -db <dir> or -demo")
 	}
 
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		fsync, err := journal.ParseFsync(*fsyncMode)
+		if err != nil {
+			return nil, err
+		}
+		jnl, err = journal.Open(*journalDir, journal.Options{Fsync: fsync, Logger: logger})
+		if err != nil {
+			return nil, fmt.Errorf("open journal: %w", err)
+		}
+		if n := jnl.TornTails(); n > 0 {
+			logger.Warn("journal had torn tail frames", "count", n)
+		}
+	}
+
 	srv := server.New(ds, server.Config{
 		MaxSessions:  *maxSess,
 		SessionTTL:   *sessTTL,
@@ -144,12 +170,21 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		Workers:      *poolSize,
 		Logger:       logger,
 		TraceSample:  *traceSample,
+		Journal:      jnl,
 	})
+	if jnl != nil {
+		n, err := srv.Recover(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("recover sessions: %w", err)
+		}
+		logger.Info("journal recovery done", "dir", *journalDir, "sessions", n, "fsync", *fsyncMode)
+	}
 	srv.Warmup()
 	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s (%d solve workers)\n",
 		ds.Tree.Len(), ds.Corpus.Len(), *addr, srv.Workers())
 	return &app{
 		handler:      srv.Handler(),
+		srv:          srv,
 		addr:         *addr,
 		debugAddr:    *debugAddr,
 		debugHandler: obs.DebugMux(srv.Registry(), obs.Default),

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -57,6 +60,60 @@ func TestBuildFlagValidation(t *testing.T) {
 	if _, err := build([]string{"-db", "/nonexistent-xyz"}, &out, nil); err == nil {
 		t.Fatal("bad db accepted")
 	}
+	if _, err := build([]string{"-demo", "-journal", t.TempDir(), "-fsync", "sometimes"}, &out, nil); err == nil {
+		t.Fatal("bad -fsync accepted")
+	}
+}
+
+// TestBuildJournalRecovery wires the -journal flag end to end: a session
+// created on one build of the server survives — under its original ID —
+// into a second build pointed at the same journal directory.
+func TestBuildJournalRecovery(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	dir := filepath.Join(t.TempDir(), "wal")
+	var out bytes.Buffer
+	app1, err := build([]string{"-demo", "-journal", dir, "-fsync", "off"}, &out, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(app1.handler)
+	// Same default demo config as build's -demo path, so any of its terms
+	// is a guaranteed hit.
+	keywords := bionav.GenerateDemo(bionav.DemoConfig{}).Corpus.At(0).Terms[0]
+	body := strings.NewReader(`{"keywords": "` + keywords + `"}`)
+	resp, err := http.Post(ts1.URL+"/api/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || state.Session == "" {
+		t.Fatalf("query: %d %+v", resp.StatusCode, state)
+	}
+	if err := app1.srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	app2, err := build([]string{"-demo", "-journal", dir, "-fsync", "off"}, &out, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(app2.handler)
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/api/export?session=" + state.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("session %s did not survive the restart: export = %d", state.Session, resp2.StatusCode)
+	}
 }
 
 // metricCatalog is the documented metric set (docs/OBSERVABILITY.md).
@@ -80,6 +137,12 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_expand_timeouts_total", "counter"},
 	{"bionav_http_request_seconds", "histogram"},
 	{"bionav_http_requests_total", "counter"},
+	{"bionav_journal_append_errors_total", "counter"},
+	{"bionav_journal_appends_total", "counter"},
+	{"bionav_journal_bytes_total", "counter"},
+	{"bionav_journal_fsync_errors_total", "counter"},
+	{"bionav_journal_fsyncs_total", "counter"},
+	{"bionav_journal_torn_tails_total", "counter"},
 	{"bionav_navcache_coalesced_total", "counter"},
 	{"bionav_navcache_evictions_total", "counter"},
 	{"bionav_navcache_hits_total", "counter"},
@@ -88,6 +151,8 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_pool_queue_depth", "gauge"},
 	{"bionav_pool_workers", "gauge"},
 	{"bionav_queue_depth", "gauge"},
+	{"bionav_recovered_sessions_total", "counter"},
+	{"bionav_recovery_errors_total", "counter"},
 	{"bionav_requests_shed_total", "counter"},
 	{"bionav_sessions_evicted_total", "counter"},
 	{"bionav_sessions_live", "gauge"},

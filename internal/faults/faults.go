@@ -40,6 +40,17 @@ const (
 	// SiteStoreLoad fires at the start of store.LoadDataset; an error
 	// action makes the load fail cleanly.
 	SiteStoreLoad = "store/dataset.load"
+	// SiteJournalAppend fires at the head of journal.Append; an error
+	// action drops the record before it reaches the segment (the server
+	// logs and counts the miss, the request still succeeds).
+	SiteJournalAppend = "journal/append"
+	// SiteJournalFsync fires before every journal segment fsync; an error
+	// action simulates a failed fsync (full disk, dying device).
+	SiteJournalFsync = "journal/fsync"
+	// SiteJournalRecover fires once per session during server journal
+	// recovery; an error action makes that session's recovery fail — it
+	// is logged and counted, never fatal to startup.
+	SiteJournalRecover = "server/journal.recover"
 )
 
 // ErrInjected is the default error returned by armed sites with no

@@ -1,0 +1,95 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+
+	"bionav/internal/faults"
+)
+
+// TestFaultJournalAppend proves the append failure path: an armed
+// journal/append site makes Append fail cleanly — the error wraps
+// faults.ErrInjected, nothing reaches the segment, and the journal stays
+// usable for the next append.
+func TestFaultJournalAppend(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	j := mustOpen(t, t.TempDir(), Options{Fsync: FsyncAlways})
+
+	faults.Arm(SiteAppend, faults.AfterN(1), nil)
+	if err := j.Append(rec(0)); err != nil {
+		t.Fatalf("first append (site not yet firing): %v", err)
+	}
+	err := j.Append(rec(1))
+	if err == nil {
+		t.Fatal("armed append site did not fail the append")
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("append error = %v, want faults.ErrInjected in the chain", err)
+	}
+	faults.Reset()
+	if err := j.Append(rec(2)); err != nil {
+		t.Fatalf("append after disarm: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dropped record is a recovery miss; its neighbors survive.
+	j2 := mustOpen(t, j.Dir(), Options{})
+	got := j2.Recovered()
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records, want 2 (the injected failure dropped one)", len(got))
+	}
+	if got[0].At != rec(0).At || got[1].At != rec(2).At {
+		t.Fatalf("wrong records survived: %+v", got)
+	}
+}
+
+// TestFaultJournalFsync proves the fsync failure path: under FsyncAlways
+// an armed journal/fsync site surfaces the failure to the appender (the
+// durability guarantee is gone and the caller must know), while the write
+// itself stays in the segment for best-effort recovery.
+func TestFaultJournalFsync(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	j := mustOpen(t, t.TempDir(), Options{Fsync: FsyncAlways})
+
+	faults.Arm(SiteFsync, faults.Always(), nil)
+	err := j.Append(rec(0))
+	if err == nil {
+		t.Fatal("armed fsync site did not surface the failure")
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("fsync error = %v, want faults.ErrInjected in the chain", err)
+	}
+	faults.Reset()
+	if err := j.Append(rec(1)); err != nil {
+		t.Fatalf("append after disarm: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both frames were written (only the sync was failed), so both recover.
+	j2 := mustOpen(t, j.Dir(), Options{})
+	if got := j2.Recovered(); len(got) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(got))
+	}
+}
+
+// TestFaultJournalFsyncInterval: under the interval policy an injected
+// fsync failure is absorbed by the background syncer (logged and counted),
+// and Append keeps succeeding.
+func TestFaultJournalFsyncInterval(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	j := mustOpen(t, t.TempDir(), Options{Fsync: FsyncInterval, Interval: 1})
+
+	faults.Arm(SiteFsync, faults.Always(), nil)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatalf("append %d under failing interval fsync: %v", i, err)
+		}
+	}
+	faults.Reset()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,511 @@
+// Package journal is BioNav's session write-ahead log: an append-only,
+// per-server record of session lifecycle events (created / action applied /
+// closed) durable enough to rebuild every live navigation session after a
+// crash, deploy, or kill -9 (docs/RESILIENCE.md §5).
+//
+// On disk the journal is a directory of rotating segment files
+// (journal-NNNNNNNN.wal). Each segment starts with an 8-byte magic and then
+// carries length-prefixed, CRC32-framed JSON records:
+//
+//	[4-byte LE payload length][4-byte LE IEEE CRC32 of payload][payload]
+//
+// Appends go to the newest segment; when it exceeds Options.SegmentBytes a
+// fresh segment is opened. Durability is tunable with Options.Fsync:
+// FsyncAlways syncs after every append (an acknowledged record survives
+// kill -9), FsyncInterval syncs on a background ticker (bounded loss
+// window), FsyncOff leaves syncing to the OS.
+//
+// Open scans the existing segments before accepting appends and keeps the
+// longest valid record prefix: the first bad frame — torn tail from a
+// crash mid-write, short file, CRC mismatch, insane length — truncates its
+// segment at the frame boundary, and any later segments (which would hold
+// records appended after the corruption point) are dropped. Scanning never
+// fails recovery; it only shortens it. The surviving records are exposed
+// via Recovered for the server to rebuild sessions from.
+//
+// The journal records wall-clock timestamps but never reads the clock
+// itself (DET01): callers stamp Record.At, and TTL decisions happen in the
+// server. Fault injection: SiteAppend, SiteFsync (internal/faults) make
+// every write/sync failure path testable without a hostile filesystem.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bionav/internal/faults"
+	"bionav/internal/obs"
+)
+
+// Fault sites armed by the resilience test suite (docs/RESILIENCE.md);
+// the names live in the internal/faults catalog.
+const (
+	// SiteAppend fires at the head of every Append; an error action makes
+	// the append fail before anything reaches the segment.
+	SiteAppend = faults.SiteJournalAppend
+	// SiteFsync fires before every segment fsync; an error action
+	// simulates a failed fsync (full disk, dying device).
+	SiteFsync = faults.SiteJournalFsync
+)
+
+// Process-wide journal metrics on the default registry
+// (docs/OBSERVABILITY.md catalogs them).
+var (
+	metAppends = obs.Default.Counter("bionav_journal_appends_total",
+		"Records appended to the session journal.")
+	metAppendErrors = obs.Default.Counter("bionav_journal_append_errors_total",
+		"Journal appends that failed (marshal, write, or injected fault).")
+	metFsyncs = obs.Default.Counter("bionav_journal_fsyncs_total",
+		"Journal segment fsyncs issued (always or interval policy).")
+	metFsyncErrors = obs.Default.Counter("bionav_journal_fsync_errors_total",
+		"Journal fsyncs that failed (or were failed by an injected fault).")
+	metBytes = obs.Default.Counter("bionav_journal_bytes_total",
+		"Framed bytes appended to journal segments.")
+	metTornTails = obs.Default.Counter("bionav_journal_torn_tails_total",
+		"Segment truncations at a bad frame during journal recovery scans.")
+)
+
+// Record types.
+const (
+	// TypeCreate opens a session: Keywords and Policy are set.
+	TypeCreate = "create"
+	// TypeAction applies one navigation action: Action holds the
+	// wire-format (navigate actionExport) JSON.
+	TypeAction = "action"
+	// TypeClose retires a session (TTL expiry, LRU eviction); recovery
+	// skips closed sessions.
+	TypeClose = "close"
+)
+
+// Record is one journal entry. The zero fields of types that don't use
+// them are omitted from the JSON payload.
+type Record struct {
+	Type    string `json:"type"`
+	Session string `json:"session"`
+	// At is a caller-supplied wall-clock stamp (UnixNano); recovery uses
+	// the newest stamp per session for its TTL decision.
+	At       int64           `json:"at,omitempty"`
+	Keywords string          `json:"keywords,omitempty"` // TypeCreate
+	Policy   string          `json:"policy,omitempty"`   // TypeCreate
+	Action   json.RawMessage `json:"action,omitempty"`   // TypeAction
+}
+
+// FsyncPolicy selects when appended records reach stable storage.
+type FsyncPolicy string
+
+// The three policies of the -fsync flag.
+const (
+	FsyncAlways   FsyncPolicy = "always"
+	FsyncInterval FsyncPolicy = "interval"
+	FsyncOff      FsyncPolicy = "off"
+)
+
+// ParseFsync validates a policy name from a flag.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("journal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// Options tunes a journal. The zero value syncs on a 100ms interval and
+// rotates segments at 4 MiB.
+type Options struct {
+	Fsync        FsyncPolicy   // default FsyncInterval
+	Interval     time.Duration // interval policy period (default 100ms)
+	SegmentBytes int64         // rotation threshold (default 4 MiB)
+	Logger       *slog.Logger  // scan/append warnings; nil disables
+}
+
+func (o *Options) fill() {
+	if o.Fsync == "" {
+		o.Fsync = FsyncInterval
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+}
+
+// Segment framing constants.
+const (
+	segMagic    = "BNAVWAL1"
+	frameHeader = 8 // 4-byte length + 4-byte CRC32
+	// maxFrame bounds a single record; a length beyond it marks the frame
+	// (and everything after) as garbage during a scan.
+	maxFrame = 16 << 20
+)
+
+// Journal is an open session write-ahead log. Safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // current segment; nil after Close
+	seg    int      // current segment index
+	size   int64    // bytes written to the current segment
+	dirty  bool     // unsynced appends (interval policy)
+	closed bool
+
+	recovered []Record
+	tornTails int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open scans dir's existing segments (recovering the longest valid record
+// prefix, truncating at the first bad frame), then opens a fresh segment
+// for appends. The recovered records stay available via Recovered until
+// the first Checkpoint. dir is created if missing.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, opts: opts, stop: make(chan struct{})}
+	segs, err := j.segments()
+	if err != nil {
+		return nil, err
+	}
+	last := 0
+	for i, seg := range segs {
+		last = seg
+		recs, clean := j.scanSegment(seg)
+		j.recovered = append(j.recovered, recs...)
+		if !clean && i < len(segs)-1 {
+			// Records in later segments were appended after the corruption
+			// point; keeping them would recover a history with a hole in
+			// the middle. Drop them — prefix semantics.
+			for _, later := range segs[i+1:] {
+				j.logWarn("dropping post-corruption segment", "segment", j.segPath(later))
+				_ = os.Remove(j.segPath(later))
+			}
+			break
+		}
+	}
+	if err := j.openSegment(last + 1); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		j.wg.Add(1)
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// Recovered returns the records scanned at Open, in append order. The
+// slice is shared: callers must not mutate it.
+func (j *Journal) Recovered() []Record { return j.recovered }
+
+// TornTails reports how many segment truncations the Open scan performed
+// (0 on a clean journal).
+func (j *Journal) TornTails() int { return j.tornTails }
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append writes one record and, under FsyncAlways, syncs it to stable
+// storage before returning — a nil error then means the record survives
+// kill -9. Errors leave the journal usable: a failed append is dropped
+// (counted and logged), not retried, and later appends proceed.
+func (j *Journal) Append(rec Record) error {
+	if err := faults.Inject(SiteAppend); err != nil {
+		metAppendErrors.Inc()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		metAppendErrors.Inc()
+		return fmt.Errorf("journal: append: marshal: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		metAppendErrors.Inc()
+		return fmt.Errorf("journal: append: %w", errClosed)
+	}
+	if j.size+int64(len(frame)) > j.opts.SegmentBytes && j.size > int64(len(segMagic)) {
+		if err := j.openSegmentLocked(j.seg + 1); err != nil {
+			metAppendErrors.Inc()
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		metAppendErrors.Inc()
+		return fmt.Errorf("journal: append: write %s: %w", j.f.Name(), err)
+	}
+	j.size += int64(len(frame))
+	j.dirty = true
+	metAppends.Inc()
+	metBytes.Add(uint64(len(frame)))
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return fmt.Errorf("journal: append: %w", err)
+		}
+	}
+	return nil
+}
+
+var errClosed = fmt.Errorf("journal closed")
+
+// Checkpoint compacts the journal: snapshot is written to a brand-new
+// segment, synced, and every older segment — including everything scanned
+// at Open — is removed. The snapshot should be the create+action records
+// of the sessions still alive; closed and expired history is how a journal
+// stops growing. After a checkpoint Recovered returns nil.
+func (j *Journal) Checkpoint(snapshot []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: checkpoint: %w", errClosed)
+	}
+	old, err := j.segments()
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	if err := j.openSegmentLocked(j.seg + 1); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	for _, rec := range snapshot {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("journal: checkpoint: marshal: %w", err)
+		}
+		frame := make([]byte, frameHeader+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		copy(frame[frameHeader:], payload)
+		if _, err := j.f.Write(frame); err != nil {
+			return fmt.Errorf("journal: checkpoint: write: %w", err)
+		}
+		j.size += int64(len(frame))
+	}
+	// A checkpoint that isn't durable is a data-loss amplifier: the old
+	// segments are about to be deleted, so the new one must be on disk
+	// first, whatever the append-path policy.
+	if err := j.syncLocked(); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	for _, seg := range old {
+		if seg == j.seg {
+			continue
+		}
+		if err := os.Remove(j.segPath(seg)); err != nil {
+			j.logWarn("checkpoint: removing old segment", "segment", j.segPath(seg), "error", err)
+		}
+	}
+	j.recovered = nil
+	j.tornTails = 0
+	return nil
+}
+
+// Close syncs outstanding appends (unless FsyncOff) and closes the current
+// segment. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	close(j.stop)
+	var err error
+	if j.opts.Fsync != FsyncOff && j.dirty {
+		err = j.syncLocked()
+	}
+	if cerr := j.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("journal: close: %w", cerr)
+	}
+	j.f = nil
+	j.mu.Unlock()
+	j.wg.Wait()
+	return err
+}
+
+// syncLocked fsyncs the current segment; caller holds j.mu.
+func (j *Journal) syncLocked() error {
+	if err := faults.Inject(SiteFsync); err != nil {
+		metFsyncErrors.Inc()
+		return fmt.Errorf("fsync %s: %w", j.f.Name(), err)
+	}
+	if err := j.f.Sync(); err != nil {
+		metFsyncErrors.Inc()
+		return fmt.Errorf("fsync %s: %w", j.f.Name(), err)
+	}
+	metFsyncs.Inc()
+	j.dirty = false
+	return nil
+}
+
+// syncLoop is the FsyncInterval policy's background syncer.
+func (j *Journal) syncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if !j.closed && j.dirty {
+				if err := j.syncLocked(); err != nil {
+					j.logWarn("interval fsync failed", "error", err)
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// openSegment / openSegmentLocked create segment seg and make it current.
+func (j *Journal) openSegment(seg int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.openSegmentLocked(seg)
+}
+
+func (j *Journal) openSegmentLocked(seg int) error {
+	f, err := os.OpenFile(j.segPath(seg), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: open segment: write magic: %w", err)
+	}
+	if j.f != nil {
+		// The retiring segment is done receiving appends; make it durable
+		// before moving on so rotation never widens the loss window.
+		if j.opts.Fsync != FsyncOff {
+			if err := j.syncLocked(); err != nil {
+				j.logWarn("rotating segment fsync failed", "error", err)
+			}
+		}
+		_ = j.f.Close()
+	}
+	j.f = f
+	j.seg = seg
+	j.size = int64(len(segMagic))
+	j.dirty = j.opts.Fsync != FsyncOff // magic itself is unsynced
+	return nil
+}
+
+func (j *Journal) segPath(seg int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("journal-%08d.wal", seg))
+}
+
+// segments lists existing segment indices, ascending.
+func (j *Journal) segments() ([]int, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: list %s: %w", j.dir, err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal"))
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// scanSegment reads one segment's records, stopping — and truncating — at
+// the first bad frame. clean reports whether the whole segment parsed.
+func (j *Journal) scanSegment(seg int) (recs []Record, clean bool) {
+	path := j.segPath(seg)
+	f, err := os.Open(path)
+	if err != nil {
+		j.logWarn("recovery: cannot open segment", "segment", path, "error", err)
+		return nil, false
+	}
+	defer f.Close()
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		j.logWarn("recovery: bad segment magic", "segment", path)
+		j.truncate(path, 0)
+		return nil, false
+	}
+	offset := int64(len(segMagic))
+	header := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF {
+				return recs, true // clean end of segment
+			}
+			// Torn frame header: the crash hit mid-write.
+			j.truncate(path, offset)
+			return recs, false
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxFrame {
+			j.truncate(path, offset)
+			return recs, false
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			j.truncate(path, offset)
+			return recs, false
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			j.truncate(path, offset)
+			return recs, false
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// Framed correctly but not a record: corruption predating the
+			// frame, same rule applies.
+			j.truncate(path, offset)
+			return recs, false
+		}
+		recs = append(recs, rec)
+		offset += int64(frameHeader) + int64(length)
+	}
+}
+
+// truncate cuts a scanned segment at the last good frame boundary,
+// discarding the torn tail so the next scan is clean.
+func (j *Journal) truncate(path string, offset int64) {
+	j.tornTails++
+	metTornTails.Inc()
+	j.logWarn("recovery: truncating torn tail", "segment", path, "offset", offset)
+	if err := os.Truncate(path, offset); err != nil {
+		j.logWarn("recovery: truncate failed", "segment", path, "error", err)
+	}
+}
+
+func (j *Journal) logWarn(msg string, args ...any) {
+	if j.opts.Logger != nil {
+		j.opts.Logger.Warn("journal: "+msg, args...)
+	}
+}

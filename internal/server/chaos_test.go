@@ -1,0 +1,314 @@
+package server
+
+// The chaos harness (make chaos-test): this test binary doubles as a real
+// journaled BioNav server subprocess. The parent test boots the child on
+// the deterministic test dataset, drives a multi-session workload over
+// HTTP, kill -9s the child mid-EXPAND, restarts it on the same journal
+// directory, and asserts the acknowledged-implies-recovered contract:
+// every session quiesced before the kill exports byte-identically after
+// recovery, and the session with an EXPAND in flight recovers a valid
+// prefix of its history (the un-acknowledged action may be absent, but
+// nothing acknowledged may be lost and nothing may be invented).
+//
+// The suite is gated behind BIONAV_CHAOS=1 so the ordinary test run
+// stays subprocess-free; run it via `make chaos-test` (with -race).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bionav/internal/faults"
+	"bionav/internal/journal"
+)
+
+// TestMain lets the test binary re-exec as the chaos server subprocess.
+func TestMain(m *testing.M) {
+	if os.Getenv("BIONAV_CHAOS_CHILD") == "1" {
+		chaosChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// chaosChild runs a real journaled server until killed. It prints one
+// "CHAOS_ADDR <addr>" line once it is serving; BIONAV_CHAOS_STALL_AFTER=n
+// arms the DP failpoint so the n+1'th EXPAND solve stalls — the parent
+// kills the process while that EXPAND is genuinely in flight.
+func chaosChild() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "chaos child:", err)
+		os.Exit(1)
+	}
+	if n := os.Getenv("BIONAV_CHAOS_STALL_AFTER"); n != "" {
+		after, err := strconv.ParseUint(n, 10, 64)
+		if err != nil {
+			fail(err)
+		}
+		faults.Arm(faults.SiteDP, faults.AfterN(after), faults.SleepAction(30*time.Second))
+	}
+	j, err := journal.Open(os.Getenv("BIONAV_CHAOS_DIR"), journal.Options{Fsync: journal.FsyncAlways})
+	if err != nil {
+		fail(err)
+	}
+	srv := New(testDataset(), Config{Journal: j})
+	if _, err := srv.Recover(context.Background()); err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("CHAOS_ADDR %s\n", ln.Addr())
+	fail(http.Serve(ln, srv.Handler()))
+}
+
+// chaosProc is one run of the server subprocess.
+type chaosProc struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+// startChaos boots the subprocess on dir and waits for its address.
+func startChaos(t *testing.T, dir string, stallAfter int) *chaosProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BIONAV_CHAOS_CHILD=1",
+		"BIONAV_CHAOS_DIR="+dir,
+		"BIONAV_CHAOS_STALL_AFTER="+strconv.Itoa(stallAfter),
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProc{cmd: cmd, stderr: &stderr}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+		if t.Failed() && stderr.Len() > 0 {
+			t.Logf("chaos child stderr:\n%s", stderr.String())
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "CHAOS_ADDR "); ok {
+				addrCh <- a
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case a, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("chaos child exited before serving; stderr:\n%s", stderr.String())
+		}
+		p.url = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos child did not report its address")
+	}
+	return p
+}
+
+// kill9 delivers SIGKILL — no handlers, no flushing, no goodbye.
+func (p *chaosProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+// chaosState is the slice of the state response the harness needs.
+type chaosState struct {
+	Session string `json:"session"`
+	Tree    struct {
+		Node     int              `json:"node"`
+		Children []chaosChildNode `json:"children"`
+	} `json:"tree"`
+}
+
+type chaosChildNode struct {
+	Node       int              `json:"node"`
+	Expandable bool             `json:"expandable"`
+	Children   []chaosChildNode `json:"children"`
+}
+
+func chaosPost(t *testing.T, url string, body any, into any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// firstExpandable walks the visible tree for an expandable subcomponent.
+func firstExpandable(nodes []chaosChildNode) (int, bool) {
+	for _, n := range nodes {
+		if n.Expandable {
+			return n.Node, true
+		}
+		if id, ok := firstExpandable(n.Children); ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// exportActions parses the actions array out of an /api/export body.
+func exportActions(t *testing.T, export string) []json.RawMessage {
+	t.Helper()
+	var doc struct {
+		Actions []json.RawMessage `json:"actions"`
+	}
+	if err := json.Unmarshal([]byte(export), &doc); err != nil {
+		t.Fatalf("unparseable export: %v\n%s", err, export)
+	}
+	return doc.Actions
+}
+
+func TestChaosKillDashNineRecovers(t *testing.T) {
+	if os.Getenv("BIONAV_CHAOS") == "" {
+		t.Skip("chaos harness; run via `make chaos-test` (BIONAV_CHAOS=1)")
+	}
+	dir := t.TempDir()
+
+	// The workload below performs exactly 3 EXPANDs before the sacrifice;
+	// DP solve #4 stalls so the kill lands mid-EXPAND.
+	p1 := startChaos(t, dir, 3)
+
+	// Three sessions; the shared query coalesces onto one cached nav tree.
+	client := &http.Client{Timeout: 10 * time.Second}
+	keywords := queryTerm(New(testDataset(), Config{}))
+	var a, b, c chaosState
+	chaosPost(t, p1.url+"/api/query", map[string]string{"keywords": keywords}, &a)
+	chaosPost(t, p1.url+"/api/query", map[string]string{"keywords": keywords}, &b)
+	chaosPost(t, p1.url+"/api/query", map[string]string{"keywords": keywords}, &c)
+
+	chaosPost(t, p1.url+"/api/expand", map[string]any{"session": a.Session, "node": a.Tree.Node}, nil)
+	resp, err := client.Get(p1.url + "/api/results?session=" + a.Session + "&node=" + itoa(a.Tree.Node))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	chaosPost(t, p1.url+"/api/backtrack", map[string]any{"session": a.Session}, nil)
+
+	var bState chaosState
+	chaosPost(t, p1.url+"/api/expand", map[string]any{"session": b.Session, "node": b.Tree.Node}, &bState)
+	chaosPost(t, p1.url+"/api/expand", map[string]any{"session": c.Session, "node": c.Tree.Node}, nil)
+
+	// Everything acknowledged so far is the committed history.
+	before := map[string]string{}
+	for _, id := range []string{a.Session, b.Session, c.Session} {
+		code, export := exportSession(t, p1.url, id)
+		if code != http.StatusOK {
+			t.Fatalf("export %s: %d", id, code)
+		}
+		before[id] = export
+	}
+
+	// The sacrifice: an EXPAND whose DP solve stalls on the armed
+	// failpoint. Fire it, give it time to reach the solver, then SIGKILL
+	// the server under it.
+	target, ok := firstExpandable(bState.Tree.Children)
+	if !ok {
+		t.Fatal("no expandable component for the sacrificial EXPAND")
+	}
+	sacrificed := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{"session": b.Session, "node": target})
+		resp, err := client.Post(p1.url+"/api/expand", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		sacrificed <- err
+	}()
+	time.Sleep(500 * time.Millisecond)
+	p1.kill9(t)
+	if err := <-sacrificed; err == nil {
+		t.Fatal("sacrificial EXPAND got a response despite the kill -9")
+	}
+
+	// Restart on the same journal directory and recover.
+	p2 := startChaos(t, dir, 0)
+	for _, id := range []string{a.Session, c.Session} {
+		code, after := exportSession(t, p2.url, id)
+		if code != http.StatusOK {
+			t.Fatalf("recovered export %s: %d", id, code)
+		}
+		if after != before[id] {
+			t.Errorf("session %s diverged across the crash:\n--- before\n%s\n--- after\n%s", id, before[id], after)
+		}
+	}
+	// The sacrificial session: committed prefix intact, at most the one
+	// in-flight action beyond it, byte-identical where they overlap.
+	code, after := exportSession(t, p2.url, b.Session)
+	if code != http.StatusOK {
+		t.Fatalf("recovered export %s: %d", b.Session, code)
+	}
+	pre, post := exportActions(t, before[b.Session]), exportActions(t, after)
+	if len(post) < len(pre) || len(post) > len(pre)+1 {
+		t.Fatalf("recovered %d actions, committed %d: lost or invented history\n%s", len(post), len(pre), after)
+	}
+	for i := range pre {
+		if !bytes.Equal(pre[i], post[i]) {
+			t.Fatalf("action %d diverged across the crash: %s vs %s", i, pre[i], post[i])
+		}
+	}
+
+	// All three sessions were live at the kill; all three must recover.
+	resp, err = client.Get(p2.url + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Recovered      float64 `json:"recoveredSessions"`
+		RecoveryErrors float64 `json:"recoveryErrors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Recovered != 3 || stats.RecoveryErrors != 0 {
+		t.Fatalf("recoveredSessions=%v recoveryErrors=%v, want 3 and 0", stats.Recovered, stats.RecoveryErrors)
+	}
+
+	// And the recovered server is a working server: the sacrificial
+	// session keeps navigating.
+	chaosPost(t, p2.url+"/api/backtrack", map[string]any{"session": b.Session}, nil)
+}

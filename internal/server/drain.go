@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// errDraining is the body of a 503 sent while the server drains.
+var errDraining = errors.New("server draining, retry against another replica")
+
+// Drain takes the server out of rotation for a graceful shutdown
+// (docs/RESILIENCE.md §5), in order:
+//
+//  1. /readyz flips to 503 ("draining") so load balancers stop routing
+//     here, and new /api/ requests are shed immediately with Retry-After.
+//  2. Requests queued for an in-flight slot are released with the same
+//     503 + Retry-After — they would only prolong the drain.
+//  3. In-flight requests (EXPANDs included) run to completion, bounded by
+//     ctx; their actions are journaled as usual.
+//  4. The journal is checkpointed to a live-session snapshot and closed.
+//
+// Drain is idempotent; concurrent calls share the one drain. A ctx that
+// expires while requests are still in flight stops the wait but the
+// journal is still checkpointed (session state is lock-consistent at all
+// times) and the ctx error returned. Without a journal, steps 1–3 alone
+// make Drain the polite prelude to http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+
+	var waitErr error
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for s.apiInFlight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			waitErr = fmt.Errorf("server: drain: in-flight requests outlived the deadline: %w", ctx.Err())
+		case <-t.C:
+		}
+		if waitErr != nil {
+			break
+		}
+	}
+
+	var journalErr error
+	if s.cfg.Journal != nil {
+		// Checkpoint and close exactly once; a repeated Drain (belt-and-
+		// suspenders shutdown paths) must not trip over the closed journal.
+		s.checkpointOnce.Do(func() {
+			journalErr = s.checkpointJournal()
+			if cerr := s.cfg.Journal.Close(); cerr != nil && journalErr == nil {
+				journalErr = fmt.Errorf("server: drain: %w", cerr)
+			}
+		})
+	}
+	return errors.Join(waitErr, journalErr)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -142,34 +142,52 @@ var errOverloaded = errors.New("server overloaded, retry later")
 // bounds concurrently served requests at Config.MaxInFlight. An
 // over-limit request waits in a short queue — at most Config.QueueWait —
 // for a slot; if none frees up it is shed with 503 and a Retry-After
-// hint instead of piling onto a saturated server. No-op when shedding is
-// disabled (MaxInFlight < 0).
+// hint instead of piling onto a saturated server. The semaphore is a
+// no-op when shedding is disabled (MaxInFlight < 0).
+//
+// The middleware also anchors the drain protocol (drain.go): apiInFlight
+// is incremented before the draining flag is checked, so once Drain has
+// stored the flag, any request it did not shed is already visible in the
+// counter Drain waits on. Requests arriving after the flag — and requests
+// queued for a slot when drainCh closes — are shed with Retry-After.
 func (s *Server) limitInFlight(next http.Handler) http.Handler {
-	if s.sem == nil {
-		return next
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			// Saturated: wait briefly rather than failing instantly, so a
-			// momentary burst rides out without client-visible errors.
-			timer := time.NewTimer(s.cfg.QueueWait)
-			defer timer.Stop()
+		s.apiInFlight.Add(1)
+		defer s.apiInFlight.Add(-1)
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			httpError(w, http.StatusServiceUnavailable, errDraining)
+			return
+		}
+		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
-			case <-timer.C:
-				s.met.shed.Inc()
-				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-				httpError(w, http.StatusServiceUnavailable, errOverloaded)
-				return
-			case <-r.Context().Done():
-				// Client gave up while queued; nothing useful to send.
-				httpError(w, http.StatusServiceUnavailable, errOverloaded)
-				return
+			default:
+				// Saturated: wait briefly rather than failing instantly, so a
+				// momentary burst rides out without client-visible errors.
+				timer := time.NewTimer(s.cfg.QueueWait)
+				defer timer.Stop()
+				select {
+				case s.sem <- struct{}{}:
+				case <-timer.C:
+					s.met.shed.Inc()
+					w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+					httpError(w, http.StatusServiceUnavailable, errOverloaded)
+					return
+				case <-s.drainCh:
+					// The server began draining while this request queued;
+					// holding it longer only prolongs the drain.
+					w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+					httpError(w, http.StatusServiceUnavailable, errDraining)
+					return
+				case <-r.Context().Done():
+					// Client gave up while queued; nothing useful to send.
+					httpError(w, http.StatusServiceUnavailable, errOverloaded)
+					return
+				}
 			}
+			defer func() { <-s.sem }()
 		}
-		defer func() { <-s.sem }()
 		next.ServeHTTP(w, r)
 	})
 }

@@ -11,14 +11,16 @@ import (
 // (tests routinely run several per process) scrapes its own counts;
 // GET /metrics merges this registry with the process-wide default one.
 type serverMetrics struct {
-	reg      *obs.Registry
-	requests *obs.CounterVec   // by route and status code
-	latency  *obs.HistogramVec // by route
-	degraded *obs.Counter
-	shed     *obs.Counter
-	timeouts *obs.Counter
-	evicted  *obs.Counter
-	traces   *obs.Counter
+	reg            *obs.Registry
+	requests       *obs.CounterVec   // by route and status code
+	latency        *obs.HistogramVec // by route
+	degraded       *obs.Counter
+	shed           *obs.Counter
+	timeouts       *obs.Counter
+	evicted        *obs.Counter
+	traces         *obs.Counter
+	recovered      *obs.Counter
+	recoveryErrors *obs.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -39,6 +41,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Sessions dropped by TTL expiry or LRU capacity pressure."),
 		traces: r.Counter("bionav_traces_sampled_total",
 			"Request traces captured by the TraceSample sampler."),
+		recovered: r.Counter("bionav_recovered_sessions_total",
+			"Sessions rebuilt from the journal by startup recovery."),
+		recoveryErrors: r.Counter("bionav_recovery_errors_total",
+			"Journaled sessions that failed to rebuild at startup recovery."),
 	}
 	r.GaugeFunc("bionav_sessions_live",
 		"Navigation sessions currently registered.", func() float64 {

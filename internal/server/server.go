@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"bionav/internal/core"
+	"bionav/internal/journal"
 	"bionav/internal/navigate"
 	"bionav/internal/navtree"
 	"bionav/internal/obs"
@@ -61,6 +62,13 @@ type Config struct {
 	// Observability knobs — see docs/OBSERVABILITY.md.
 	Logger      *slog.Logger // one structured line per request; nil disables
 	TraceSample int          // capture every Nth request's span tree and log it (0 disables)
+
+	// Journal is the session write-ahead log (docs/RESILIENCE.md §5): every
+	// session mutation is journaled before it is acknowledged, Recover
+	// rebuilds live sessions from it after a crash, and Drain checkpoints
+	// it on graceful shutdown. nil disables durability entirely — the
+	// server then behaves exactly as a journal-less build.
+	Journal *journal.Journal
 }
 
 func (c *Config) fill() {
@@ -109,6 +117,15 @@ type Server struct {
 	met      *serverMetrics // per-instance registry; /api/stats reads through it
 	reqSeq   atomic.Uint64  // request counter driving the trace sampler
 
+	// Drain state (drain.go): draining flips once, drainCh releases queue
+	// waiters, apiInFlight counts /api/ requests between middleware entry
+	// and response so Drain can wait them out.
+	draining       atomic.Bool
+	drainOnce      sync.Once
+	checkpointOnce sync.Once
+	drainCh        chan struct{}
+	apiInFlight    atomic.Int64
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   uint64
@@ -130,6 +147,10 @@ type session struct {
 	keywords string
 	lastUsed time.Time
 	expired  atomic.Bool
+	// journaled counts the log entries already appended to the journal
+	// (guarded by mu); the suffix beyond it is the not-yet-durable part a
+	// failed append leaves behind for the next mutation to retry.
+	journaled int
 }
 
 // New builds a server over the dataset.
@@ -140,6 +161,7 @@ func New(ds *store.Dataset, cfg Config) *Server {
 		cfg:      cfg,
 		scorer:   rank.NewScorer(ds.Corpus, ds.Index),
 		sessions: make(map[string]*session),
+		drainCh:  make(chan struct{}),
 	}
 	if cfg.NavCacheSize > 0 {
 		s.navCache = navtree.NewCache(cfg.NavCacheSize)
@@ -245,9 +267,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 503 while every in-flight slot is
-// taken, so a load balancer stops routing here before requests get shed.
+// taken, so a load balancer stops routing here before requests get shed,
+// and 503 for good once Drain has begun.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	probeHeaders(w)
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	if s.sem != nil && len(s.sem) == cap(s.sem) {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
@@ -340,6 +368,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sess := navigate.NewSession(nav, s.newPolicy())
 
 	id := s.register(&session{nav: sess, keywords: req.Keywords, lastUsed: time.Now()})
+	s.journalCreate(id, req.Keywords)
 	s.writeState(w, id)
 }
 
@@ -376,6 +405,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, errNoSession)
 		return
 	}
+	s.journalActionsLocked(req.Session, sess)
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
 	resp.Grade = res.Grade.String()
@@ -446,6 +476,7 @@ func (s *Server) handleExpandAll(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, errNoSession)
 		return
 	}
+	s.journalActionsLocked(req.Session, sess)
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
 	worst := core.GradeFull
@@ -491,6 +522,7 @@ func (s *Server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.journalActionsLocked(req.Session, sess)
 	resp := s.stateLocked(req.Session, sess)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
@@ -509,6 +541,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	ids, err := sess.nav.ShowResults(node)
+	if err == nil {
+		// SHOWRESULTS is a logged, cost-charged action like any other;
+		// journal it so a recovered session's cost accounting matches.
+		s.journalActionsLocked(r.URL.Query().Get("session"), sess)
+	}
 	sess.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
@@ -570,7 +607,12 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	id := s.register(&session{nav: restored, keywords: req.Keywords, lastUsed: time.Now()})
+	sess := &session{nav: restored, keywords: req.Keywords, lastUsed: time.Now()}
+	id := s.register(sess)
+	s.journalCreate(id, req.Keywords)
+	sess.mu.Lock()
+	s.journalActionsLocked(id, sess) // the imported history is this session's log
+	sess.mu.Unlock()
 	s.writeState(w, id)
 }
 
@@ -598,6 +640,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"expandTimeouts":  s.met.timeouts.Value(),
 		"sessionsEvicted": s.met.evicted.Value(),
 	}
+	stats["recoveredSessions"] = s.met.recovered.Value()
+	stats["recoveryErrors"] = s.met.recoveryErrors.Value()
+	if s.cfg.Journal != nil {
+		stats["journalDir"] = s.cfg.Journal.Dir()
+		stats["journalTornTails"] = s.cfg.Journal.TornTails()
+	}
 	if s.navCache != nil {
 		hits, misses := s.navCache.Stats()
 		stats["navCacheTrees"] = s.navCache.Len()
@@ -611,11 +659,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) register(sess *session) string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextID++
 	id := fmt.Sprintf("s%08x", s.nextID)
 	s.sessions[id] = sess
-	s.evictLocked()
+	closed := s.evictLocked()
+	s.mu.Unlock()
+	s.journalClose(closed...)
 	return id
 }
 
@@ -623,30 +672,44 @@ var errNoSession = errors.New("server: unknown or expired session")
 
 func (s *Server) lookup(id string) (*session, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, errNoSession
 	}
 	if time.Since(sess.lastUsed) > s.cfg.SessionTTL {
 		sess.expired.Store(true)
 		delete(s.sessions, id)
 		s.met.evicted.Inc()
+		s.mu.Unlock()
+		s.journalClose(id)
 		return nil, errNoSession
 	}
-	sess.lastUsed = time.Now()
+	s.touchLocked(sess)
+	s.mu.Unlock()
 	return sess, nil
 }
 
+// touchLocked refreshes the session's TTL clock. Every lookup counts as
+// activity — mutations and read-only paths (/api/export, the /api/results
+// listing, state renders) alike: a session the user is still reading must
+// not expire out from under them. Caller holds s.mu.
+func (s *Server) touchLocked(sess *session) {
+	sess.lastUsed = time.Now()
+}
+
 // evictLocked drops expired sessions and, if still over capacity, the
-// least recently used ones. Caller holds s.mu.
-func (s *Server) evictLocked() {
+// least recently used ones, returning the dropped IDs so the caller can
+// journal their close records outside the lock. Caller holds s.mu.
+func (s *Server) evictLocked() []string {
+	var closed []string
 	now := time.Now()
 	for id, sess := range s.sessions {
 		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
 			sess.expired.Store(true)
 			delete(s.sessions, id)
 			s.met.evicted.Inc()
+			closed = append(closed, id)
 		}
 	}
 	for len(s.sessions) > s.cfg.MaxSessions {
@@ -660,7 +723,9 @@ func (s *Server) evictLocked() {
 		s.sessions[oldestID].expired.Store(true)
 		delete(s.sessions, oldestID)
 		s.met.evicted.Inc()
+		closed = append(closed, oldestID)
 	}
+	return closed
 }
 
 // --- rendering ---

@@ -17,14 +17,19 @@ import (
 	"bionav/internal/store"
 )
 
-func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
-	t.Helper()
+// testDataset builds the deterministic corpus every server test — and the
+// chaos harness's server subprocess — runs against. Same seeds, same data.
+func testDataset() *store.Dataset {
 	tree := hierarchy.Generate(hierarchy.GenConfig{Seed: 71, Nodes: 1000, TopLevel: 12, MaxDepth: 8})
 	corp := corpus.Generate(tree, corpus.GenConfig{
 		Seed: 72, Citations: 300, MeanConcepts: 30, FirstID: 500, YearLo: 2000, YearHi: 2008,
 	})
-	ds := &store.Dataset{Tree: tree, Corpus: corp, Index: index.Build(corp)}
-	srv := New(ds, cfg)
+	return &store.Dataset{Tree: tree, Corpus: corp, Index: index.Build(corp)}
+}
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(testDataset(), cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
