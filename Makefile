@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test experiments demo clean
+.PHONY: all check build test race vet fmt lint lint-fix-audit checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test experiments demo clean
 
 all: fmt vet lint test build
 
@@ -27,9 +27,18 @@ fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then echo "gofmt -s needed:"; echo "$$out"; exit 1; fi
 
 # Project-invariant static analysis: determinism, context discipline,
-# logging hygiene, error wrapping (docs/STATIC_ANALYSIS.md).
+# logging hygiene, error wrapping, concurrency discipline (guarded
+# fields, atomics, goroutine supervision), and the cross-artifact
+# metric/fault-site reconciliation (docs/STATIC_ANALYSIS.md).
 lint:
 	$(GO) run ./cmd/bionav-lint ./...
+
+# Snapshot the module's //lint:ignore inventory (rule → count → files)
+# into LINT_BASELINE.json. The baseline is committed: a PR that grows a
+# rule's suppression count shows that spend in its diff.
+lint-fix-audit:
+	$(GO) run ./cmd/bionav-lint -audit > LINT_BASELINE.json
+	@cat LINT_BASELINE.json
 
 # Deep-assertion build: internal/check's EdgeCut/active-tree/cost-model
 # validations panic on violation in every navigation test.

@@ -1,0 +1,150 @@
+package main
+
+// ATOM01 — no mixed atomic/plain access. A struct field is "atomic" when
+// it either has a typed sync/atomic type (atomic.Bool, atomic.Int64, ...)
+// or is ever passed by address to a sync/atomic function
+// (atomic.AddInt64(&s.n, 1) makes s.n atomic everywhere). Once atomic,
+// every other access must stay atomic:
+//
+//   - typed atomic fields may only appear as a method-call receiver
+//     (s.flag.Load()) or as an &-operand (passing the atomic by pointer);
+//     copying the value (x := s.flag) tears the atomic and is flagged;
+//   - inferred atomic fields may only appear as &-operands of sync/atomic
+//     calls; any plain read or write races with the atomic ops and is
+//     flagged.
+//
+// The inference is address-precise: &s.buckets[i] marks nothing (the
+// element is atomic, not the field), only a direct &s.field does. There is
+// no annotation — the first atomic use is the declaration of intent.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicInfo is the per-package ATOM01 state.
+type atomicInfo struct {
+	inferred   map[*types.Var]bool        // plain-typed fields used via sync/atomic
+	sanctioned map[*ast.SelectorExpr]bool // field accesses that are legitimately atomic
+}
+
+// collectAtomicFields runs the two inference passes over the package.
+func collectAtomicFields(r *ruleRunner) *atomicInfo {
+	info := &atomicInfo{
+		inferred:   make(map[*types.Var]bool),
+		sanctioned: make(map[*ast.SelectorExpr]bool),
+	}
+	for _, f := range r.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// atomic.AddInt64(&s.n, 1): the &-operand becomes an atomic
+			// field and this occurrence is sanctioned.
+			if fn := r.callee(call); calleeIsAtomicFunc(fn) {
+				for _, arg := range call.Args {
+					if sel := addrOfFieldSel(r, arg); sel != nil {
+						if fv := fieldVarOf(r, sel); fv != nil {
+							info.inferred[fv] = true
+							info.sanctioned[sel] = true
+						}
+					}
+				}
+			}
+			// s.flag.Load(): the receiver access of a method call on a
+			// typed atomic field is the sanctioned access form.
+			if outer, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr); ok {
+					if fv := fieldVarOf(r, inner); fv != nil && isAtomicType(fv.Type()) {
+						info.sanctioned[inner] = true
+					}
+				}
+			}
+			return true
+		})
+		// &s.flag anywhere: passing a typed atomic by pointer is legal.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel := addrOfFieldSel(r, n); sel != nil {
+				if fv := fieldVarOf(r, sel); fv != nil && isAtomicType(fv.Type()) {
+					info.sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return info
+}
+
+// checkAtom01 flags every unsanctioned access to an atomic field in f.
+func (r *ruleRunner) checkAtom01(f *ast.File) {
+	if r.atomics == nil {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fv := fieldVarOf(r, sel)
+		if fv == nil || r.atomics.sanctioned[sel] {
+			return true
+		}
+		switch {
+		case isAtomicType(fv.Type()):
+			r.report(sel.Sel.Pos(), "ATOM01",
+				"field %s has atomic type %s; access it only through its methods (copying the value tears the atomic)", fv.Name(), fv.Type())
+		case r.atomics.inferred[fv]:
+			r.report(sel.Sel.Pos(), "ATOM01",
+				"field %s is accessed via sync/atomic elsewhere; this plain access races with those atomic ops", fv.Name())
+		}
+		return true
+	})
+}
+
+// fieldVarOf resolves a selector to the struct field it reads, or nil.
+func fieldVarOf(r *ruleRunner, sel *ast.SelectorExpr) *types.Var {
+	s := r.pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv
+}
+
+// addrOfFieldSel returns the selector when n is exactly &x.f (no indexing
+// in between — &s.counts[i] makes the element atomic, not the field).
+func addrOfFieldSel(r *ruleRunner, n ast.Node) *ast.SelectorExpr {
+	u, ok := n.(ast.Expr)
+	if !ok {
+		return nil
+	}
+	ue, ok := ast.Unparen(u).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// calleeIsAtomicFunc reports whether fn is a package-level sync/atomic
+// function (AddInt64, LoadUint64, CompareAndSwapPointer, ...).
+func calleeIsAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Bool, atomic.Int64, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,91 @@
+package main
+
+// The suppression audit (-audit) inventories every //lint:ignore in the
+// module as machine-readable JSON — rule → count → files. `make
+// lint-fix-audit` snapshots it to LINT_BASELINE.json so a review can
+// diff the suppression surface instead of hunting for new ignores in a
+// sea of code: a PR that grows a rule's count is explicitly spending
+// lint debt, and says so in its diff.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// auditEntry is one rule's suppression footprint.
+type auditEntry struct {
+	Rule  string   `json:"rule"`
+	Count int      `json:"count"`
+	Files []string `json:"files"`
+}
+
+type auditReport struct {
+	Total        int          `json:"total"`
+	Suppressions []auditEntry `json:"suppressions"`
+}
+
+// runAudit loads the whole module and emits the suppression summary.
+func runAudit(out *os.File) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		return err
+	}
+	l := newLoader(modDir, modPath)
+	paths, err := l.discover()
+	if err != nil {
+		return err
+	}
+
+	counts := make(map[string]int)
+	files := make(map[string]map[string]bool)
+	total := 0
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return err
+		}
+		sups, _ := collectSuppressions(l.fset, pkg)
+		for _, s := range sups {
+			rel := s.Pos.Filename
+			if r, err := filepath.Rel(modDir, s.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel = filepath.ToSlash(r)
+			}
+			total++
+			for _, rule := range s.Rules {
+				counts[rule]++
+				if files[rule] == nil {
+					files[rule] = make(map[string]bool)
+				}
+				files[rule][rel] = true
+			}
+		}
+	}
+
+	report := auditReport{Total: total}
+	for rule, n := range counts {
+		entry := auditEntry{Rule: rule, Count: n}
+		for f := range files[rule] {
+			entry.Files = append(entry.Files, f)
+		}
+		sort.Strings(entry.Files)
+		report.Suppressions = append(report.Suppressions, entry)
+	}
+	sort.Slice(report.Suppressions, func(i, j int) bool {
+		return report.Suppressions[i].Rule < report.Suppressions[j].Rule
+	})
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package main
+
+// Cross-artifact consistency checks. These run over the whole module at
+// once (a `bionav-lint ./...` run, or TestRepoIsClean) because their
+// invariants span packages, tests, and docs:
+//
+//	OBS01    every metric name registered through the internal/obs
+//	         Registry appears in the server metricCatalog test AND in the
+//	         docs/OBSERVABILITY.md metric table — and vice versa: a
+//	         catalog or doc row with no registration behind it is a lie.
+//	FAULT01  every fault site declared in internal/faults has TestFault*
+//	         coverage somewhere in the module — an unarmed failpoint is
+//	         dead resilience code.
+//
+// Neither rule is suppressible: the fix is always to make the artifacts
+// agree, not to excuse the drift.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// crossConfig names the artifacts the checks reconcile.
+type crossConfig struct {
+	obsPkg      string   // import path of the metrics Registry package
+	faultsPkg   string   // import path of the fault-site catalog package
+	catalogFile string   // Go file declaring the metricCatalog test table
+	docFile     string   // markdown file with the metric table
+	testFiles   []string // *_test.go files scanned for TestFault* coverage
+}
+
+// registryMethods are the obs.Registry registration entry points; the
+// first argument of each is the metric name.
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+// registration is one metric-name registration site.
+type registration struct {
+	name string
+	pos  token.Position
+}
+
+// runCrossChecks evaluates OBS01 and FAULT01 over the loaded packages.
+func runCrossChecks(fset *token.FileSet, pkgs []*lintPkg, cc crossConfig) []diagnostic {
+	var diags []diagnostic
+	diags = append(diags, checkObs01(fset, pkgs, cc)...)
+	diags = append(diags, checkFault01(fset, pkgs, cc)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// checkObs01 reconciles registrations, the catalog test table, and the
+// docs table.
+func checkObs01(fset *token.FileSet, pkgs []*lintPkg, cc crossConfig) []diagnostic {
+	var diags []diagnostic
+	regs, nonConst := collectRegistrations(fset, pkgs, cc.obsPkg)
+	diags = append(diags, nonConst...)
+
+	catalog, catDiags := parseMetricCatalog(cc.catalogFile)
+	diags = append(diags, catDiags...)
+	doc, docDiags := parseMetricDoc(cc.docFile)
+	diags = append(diags, docDiags...)
+
+	registered := make(map[string]bool, len(regs))
+	for _, reg := range regs {
+		registered[reg.name] = true
+		if _, ok := catalog[reg.name]; !ok {
+			diags = append(diags, diagnostic{Pos: reg.pos, Rule: "OBS01",
+				Msg: fmt.Sprintf("metric %q is registered but missing from metricCatalog (%s)", reg.name, cc.catalogFile)})
+		}
+		if _, ok := doc[reg.name]; !ok {
+			diags = append(diags, diagnostic{Pos: reg.pos, Rule: "OBS01",
+				Msg: fmt.Sprintf("metric %q is registered but undocumented in %s", reg.name, cc.docFile)})
+		}
+	}
+	for name, line := range catalog {
+		if !registered[name] {
+			diags = append(diags, diagnostic{
+				Pos:  token.Position{Filename: cc.catalogFile, Line: line, Column: 1},
+				Rule: "OBS01",
+				Msg:  fmt.Sprintf("metricCatalog entry %q matches no obs registration: delete the row or register the metric", name)})
+		}
+	}
+	for name, line := range doc {
+		if !registered[name] {
+			diags = append(diags, diagnostic{
+				Pos:  token.Position{Filename: cc.docFile, Line: line, Column: 1},
+				Rule: "OBS01",
+				Msg:  fmt.Sprintf("documented metric %q matches no obs registration: delete the row or register the metric", name)})
+		}
+	}
+	return diags
+}
+
+// collectRegistrations finds every Registry registration call outside the
+// obs package itself (whose internals pass names through variables).
+func collectRegistrations(fset *token.FileSet, pkgs []*lintPkg, obsPkg string) ([]registration, []diagnostic) {
+	var regs []registration
+	var diags []diagnostic
+	for _, pkg := range pkgs {
+		if pkg.ImportPath == obsPkg {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registryMethods[sel.Sel.Name] {
+					return true
+				}
+				fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !isRegistryMethod(fn, obsPkg) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					diags = append(diags, diagnostic{Pos: fset.Position(call.Pos()), Rule: "OBS01",
+						Msg: fmt.Sprintf("metric name passed to Registry.%s is not a constant string; the catalog cannot be verified against it", sel.Sel.Name)})
+					return true
+				}
+				regs = append(regs, registration{
+					name: constant.StringVal(tv.Value),
+					pos:  fset.Position(call.Pos()),
+				})
+				return true
+			})
+		}
+	}
+	return regs, diags
+}
+
+func isRegistryMethod(fn *types.Func, obsPkg string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "Registry"
+}
+
+// parseMetricCatalog extracts metric names (and their lines) from the
+// metricCatalog composite literal in the catalog test file. The file is
+// parsed standalone — it is a _test.go file, outside the loader's scope.
+func parseMetricCatalog(path string) (map[string]int, []diagnostic) {
+	fail := func(format string, args ...any) (map[string]int, []diagnostic) {
+		return map[string]int{}, []diagnostic{{
+			Pos:  token.Position{Filename: path, Line: 1, Column: 1},
+			Rule: "OBS01",
+			Msg:  fmt.Sprintf(format, args...),
+		}}
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return fail("cannot parse metric catalog: %v", err)
+	}
+	names := make(map[string]int)
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, id := range vs.Names {
+			if id.Name != "metricCatalog" || i >= len(vs.Values) {
+				continue
+			}
+			cl, ok := vs.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			found = true
+			for _, elt := range cl.Elts {
+				// The first string literal of each row is the metric name;
+				// later strings (metric kind, help text) are not names.
+				taken := false
+				ast.Inspect(elt, func(m ast.Node) bool {
+					if taken {
+						return false
+					}
+					if lit, ok := m.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						taken = true
+						name := strings.Trim(lit.Value, "`\"")
+						if _, dup := names[name]; !dup {
+							names[name] = fset.Position(lit.Pos()).Line
+						}
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if !found {
+		return fail("no metricCatalog composite literal found (OBS01 needs the catalog to reconcile against)")
+	}
+	return names, nil
+}
+
+var docMetricRE = regexp.MustCompile("`(bionav_[a-z0-9_]+)`")
+
+// parseMetricDoc extracts metric names from the markdown table: only
+// table rows (lines starting with |) count, so prose mentioning a metric
+// name does not masquerade as documentation.
+func parseMetricDoc(path string) (map[string]int, []diagnostic) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return map[string]int{}, []diagnostic{{
+			Pos:  token.Position{Filename: path, Line: 1, Column: 1},
+			Rule: "OBS01",
+			Msg:  fmt.Sprintf("cannot read metric doc: %v", err),
+		}}
+	}
+	names := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		if m := docMetricRE.FindStringSubmatch(line); m != nil {
+			if _, dup := names[m[1]]; !dup {
+				names[m[1]] = i + 1
+			}
+		}
+	}
+	return names, nil
+}
+
+// faultSite is one Site* constant in the faults package.
+type faultSite struct {
+	name  string
+	value string
+	pos   token.Position
+}
+
+// checkFault01 requires TestFault* coverage for every declared fault site.
+func checkFault01(fset *token.FileSet, pkgs []*lintPkg, cc crossConfig) []diagnostic {
+	var faultsPkg *lintPkg
+	for _, pkg := range pkgs {
+		if pkg.ImportPath == cc.faultsPkg {
+			faultsPkg = pkg
+		}
+	}
+	if faultsPkg == nil {
+		return nil // module layout without a faults package: nothing to check
+	}
+	sites := collectFaultSites(fset, faultsPkg)
+	if len(sites) == 0 {
+		return nil
+	}
+
+	// Aliases: other packages re-export sites under local names
+	// (journal.SiteAppend = faults.SiteJournalAppend); a TestFault that
+	// arms the alias covers the site.
+	aliases := make(map[string][]string) // site value -> alias const names
+	byValue := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		byValue[s.value] = true
+	}
+	for _, pkg := range pkgs {
+		if pkg.ImportPath == cc.faultsPkg {
+			continue
+		}
+		for _, name := range pkg.Types.Scope().Names() {
+			c, ok := pkg.Types.Scope().Lookup(name).(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			if v := constant.StringVal(c.Val()); byValue[v] {
+				aliases[v] = append(aliases[v], name)
+			}
+		}
+	}
+
+	// The coverage corpus: the full text of every test file that declares
+	// at least one TestFault* function.
+	var corpus []string
+	for _, path := range cc.testFiles {
+		tfset := token.NewFileSet()
+		f, err := parser.ParseFile(tfset, path, nil, 0)
+		if err != nil {
+			continue // a broken test file is the compiler's problem, not FAULT01's
+		}
+		hasTestFault := false
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "TestFault") {
+				hasTestFault = true
+				break
+			}
+		}
+		if !hasTestFault {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		corpus = append(corpus, string(data))
+	}
+
+	var diags []diagnostic
+	for _, s := range sites {
+		if faultSiteCovered(s, aliases[s.value], corpus) {
+			continue
+		}
+		diags = append(diags, diagnostic{Pos: s.pos, Rule: "FAULT01",
+			Msg: fmt.Sprintf("fault site %s (%q) is armed by no TestFault* test; add one or retire the site", s.name, s.value)})
+	}
+	return diags
+}
+
+// collectFaultSites gathers the package-level Site* string constants.
+func collectFaultSites(fset *token.FileSet, pkg *lintPkg) []faultSite {
+	var sites []faultSite
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if !strings.HasPrefix(id.Name, "Site") {
+						continue
+					}
+					c, ok := pkg.Info.Defs[id].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					sites = append(sites, faultSite{
+						name:  id.Name,
+						value: constant.StringVal(c.Val()),
+						pos:   fset.Position(id.Pos()),
+					})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// faultSiteCovered reports whether any TestFault-bearing test file
+// references the site by const name, alias name, or literal value.
+func faultSiteCovered(s faultSite, aliasNames []string, corpus []string) bool {
+	needles := append([]string{s.name, `"` + s.value + `"`}, aliasNames...)
+	for _, text := range corpus {
+		for _, needle := range needles {
+			if strings.Contains(text, needle) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCross loads one cross-fixture tree (obs, app, faults packages under
+// a shared fixture module root) and runs the cross-artifact checks over
+// it with the fixture's own catalog, doc, and test files.
+func loadCross(t *testing.T, name string) []diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "cross", name)
+	l := newLoader(root, "fixcross")
+	var pkgs []*lintPkg
+	for _, sub := range []string{"obs", "app", "faults"} {
+		pkg, err := l.load("fixcross/" + sub)
+		if err != nil {
+			t.Fatalf("load %s: %v", sub, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	cc := crossConfig{
+		obsPkg:      "fixcross/obs",
+		faultsPkg:   "fixcross/faults",
+		catalogFile: filepath.Join(root, "catalog_test.go"),
+		docFile:     filepath.Join(root, "OBSERVABILITY.md"),
+		testFiles:   []string{filepath.Join(root, "faults_test.go")},
+	}
+	return runCrossChecks(l.fset, pkgs, cc)
+}
+
+// TestCrossClean: artifacts in agreement produce nothing. The fixture
+// also pins two non-rules: prose mentions of a metric name are not
+// documentation, and alias/value spellings both count as fault coverage.
+func TestCrossClean(t *testing.T) {
+	for _, d := range loadCross(t, "clean") {
+		t.Errorf("unexpected diagnostic: %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+	}
+}
+
+// TestCrossBroken is the fail-loudly acceptance proof: deleting or
+// drifting any one artifact — registration, catalog row, doc row, or
+// fault test — produces a diagnostic naming the missing side.
+func TestCrossBroken(t *testing.T) {
+	diags := loadCross(t, "broken")
+	got := make([]string, 0, len(diags))
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s %s", d.Rule, d.Msg))
+	}
+	wants := []struct{ rule, frag string }{
+		{"OBS01", `"bionav_orphans_total" is registered but missing from metricCatalog`},
+		{"OBS01", `"bionav_orphans_total" is registered but undocumented`},
+		{"OBS01", "metric name passed to Registry.Gauge is not a constant string"},
+		{"OBS01", `metricCatalog entry "bionav_ghost_total" matches no obs registration`},
+		{"OBS01", `documented metric "bionav_phantom_total" matches no obs registration`},
+		{"FAULT01", `fault site SiteDark ("dark/site") is armed by no TestFault* test`},
+	}
+	for _, w := range wants {
+		found := false
+		for _, g := range got {
+			if strings.HasPrefix(g, w.rule+" ") && strings.Contains(g, w.frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected diagnostic %s %q; got:\n  %s", w.rule, w.frag, strings.Join(got, "\n  "))
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("diagnostic count = %d, want %d:\n  %s", len(diags), len(wants), strings.Join(got, "\n  "))
+	}
+}

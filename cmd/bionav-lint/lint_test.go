@@ -31,6 +31,7 @@ func fixtureConfig() config {
 		det02Scope:  []string{"fix/det02"},
 		ctxBanScope: []string{"fix/"},
 		log01Strict: []string{"fix/log01strict"},
+		goro01Scope: []string{"fix/goro01"},
 	}
 }
 
@@ -79,7 +80,8 @@ func parseWant(t *testing.T, dir string) map[string]bool {
 }
 
 func TestGoldenFixtures(t *testing.T) {
-	fixtures := []string{"det01", "det01allow", "det02", "ctx01", "log01", "log01strict", "err01", "suppress"}
+	fixtures := []string{"det01", "det01allow", "det02", "ctx01", "log01", "log01strict", "err01", "suppress",
+		"lock01", "atom01", "goro01"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
@@ -137,13 +139,22 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := repoConfig(modPath)
+	var pkgs []*lintPkg
 	for _, p := range paths {
 		pkg, err := l.load(p)
 		if err != nil {
 			t.Fatalf("load %s: %v", p, err)
 		}
+		pkgs = append(pkgs, pkg)
 		for _, d := range lintPackage(l.fset, pkg, cfg) {
 			t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 		}
+	}
+	cc, err := repoCrossConfig(modDir, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range runCrossChecks(l.fset, pkgs, cc) {
+		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 	}
 }

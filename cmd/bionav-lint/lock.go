@@ -1,0 +1,673 @@
+package main
+
+// LOCK01 — guarded-field discipline. A struct field (or package-level
+// variable) annotated `// guarded by <mu>` may only be read or written
+// while the named mutex is held. The annotation grammar
+// (docs/STATIC_ANALYSIS.md §LOCK01):
+//
+//	// guarded by mu       a sibling field (or package-level var) named mu
+//	// guarded by T.mu     field mu of struct T in the same package
+//	// guarded by caller   externally synchronized: the owner serializes all
+//	                       access, so the only in-package violation is
+//	                       touching the field from a spawned goroutine
+//
+// The engine is a forward flow walk over each function body tracking the
+// set of held mutexes by *identity of the mutex variable* (type-keyed,
+// like Java's @GuardedBy): s.mu.Lock() and t.mu.Lock() both establish
+// "session.mu is held" — the analysis cannot distinguish instances, which
+// is the standard, documented imprecision of this rule class. Transitions:
+//
+//   - x.Lock() / x.RLock() adds x to the held set; x.Unlock() / x.RUnlock()
+//     removes it. Held-ness is boolean, not counted: after the first
+//     Unlock the mutex is treated as released even if Lock ran twice —
+//     a double Lock is a self-deadlock, never a reason to believe the
+//     second Unlock is still covered (the unsoundness fixture in
+//     lock_test.go pins this).
+//   - `defer x.Unlock()` keeps x held through every exit (the transition
+//     is ignored; deferred unlocks run after the function body).
+//   - Branches fork the held set and merge by intersection; a branch that
+//     cannot fall through (return / break / continue / goto / panic) is
+//     excluded from the merge, which is what makes the early-return-unlock
+//     pattern precise.
+//   - Loop bodies run on a copy; the state after the loop is the
+//     intersection of the entry state and the body's exit state (the body
+//     may have run zero times).
+//   - Function literals start with an empty held set: the engine does not
+//     assume a closure runs while its creator's locks are held.
+//
+// Escape hatches, in preference order: hold the mutex; name the function
+// `*Locked` (its body is exempt — the name is the documented contract
+// that the caller holds the lock — while its call sites must themselves
+// hold some tracked mutex, be `*Locked`, or operate on a fresh object);
+// construct the object freshly in the same function (a local assigned
+// from a composite literal or new() is private until published); or
+// `//lint:ignore LOCK01 <reason>` with a real reason (LINT03).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardSpec is one parsed `// guarded by` annotation, resolved to the
+// mutex variable it names.
+type guardSpec struct {
+	name   string     // the annotation text, for diagnostics
+	owner  string     // declaring struct (or "package") for diagnostics
+	field  string     // annotated field/var name
+	caller bool       // `guarded by caller`
+	mutex  *types.Var // resolved guard; nil iff caller
+}
+
+// lockInfo is the per-package annotation table LOCK01 runs against.
+type lockInfo struct {
+	guarded map[*types.Var]*guardSpec
+}
+
+// collectGuards parses every guarded-by annotation in the package. It
+// reports LOCK02 for annotations naming a guard that does not resolve —
+// a typo'd annotation silently enforcing nothing is worse than none.
+func collectGuards(r *ruleRunner) *lockInfo {
+	info := &lockInfo{guarded: make(map[*types.Var]*guardSpec)}
+	for _, f := range r.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					guard, ok := guardAnnotation(field.Doc, field.Comment)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						r.addGuard(info, name, n.Name.Name, guard, st)
+					}
+				}
+				return false
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					guard, ok := guardAnnotation(vs.Doc, vs.Comment)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj, isPkgLevel := r.pkg.Info.Defs[name].(*types.Var); isPkgLevel && obj.Parent() == r.pkg.Types.Scope() {
+							r.addGuard(info, name, "package", guard, nil)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return info
+}
+
+// guardAnnotation extracts the guard name from a field/var doc or trailing
+// comment.
+func guardAnnotation(groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(g.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// addGuard resolves one annotation and records it. st is the enclosing
+// struct for sibling lookup (nil for package-level vars).
+func (r *ruleRunner) addGuard(info *lockInfo, name *ast.Ident, owner, guard string, st *ast.StructType) {
+	fv, ok := r.pkg.Info.Defs[name].(*types.Var)
+	if !ok {
+		return
+	}
+	spec := &guardSpec{name: guard, owner: owner, field: name.Name}
+	switch {
+	case guard == "caller":
+		spec.caller = true
+	case strings.Contains(guard, "."):
+		parts := strings.SplitN(guard, ".", 2)
+		spec.mutex = r.structField(parts[0], parts[1])
+	default:
+		if st != nil {
+			spec.mutex = r.siblingField(st, guard)
+		}
+		if spec.mutex == nil {
+			if v, ok := r.pkg.Types.Scope().Lookup(guard).(*types.Var); ok {
+				spec.mutex = v
+			}
+		}
+	}
+	if !spec.caller && spec.mutex == nil {
+		r.report(name.Pos(), "LOCK02",
+			"guarded-by annotation on %s.%s names %q, which resolves to no field or package-level var", owner, name.Name, guard)
+		return
+	}
+	info.guarded[fv] = spec
+}
+
+// siblingField finds the named field in the same struct literal.
+func (r *ruleRunner) siblingField(st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				fv, _ := r.pkg.Info.Defs[n].(*types.Var)
+				return fv
+			}
+		}
+	}
+	return nil
+}
+
+// structField resolves typeName.fieldName in the package scope.
+func (r *ruleRunner) structField(typeName, fieldName string) *types.Var {
+	tn, ok := r.pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName {
+			return f
+		}
+	}
+	return nil
+}
+
+// lockTarget reports the mutex variable a sync.Mutex/RWMutex method call
+// operates on, plus the method name. Only direct field or variable
+// receivers are tracked (x.mu.Lock(), mu.Lock(), a.b.mu.Lock()).
+func (r *ruleRunner) lockTarget(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, _ := r.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		if v, ok := r.pkg.Info.Uses[x].(*types.Var); ok {
+			return v, sel.Sel.Name, true
+		}
+	case *ast.SelectorExpr:
+		if s := r.pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v, sel.Sel.Name, true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// checkLock01 runs the lock-state engine over one function declaration.
+func (r *ruleRunner) checkLock01(decl *ast.FuncDecl) {
+	if decl.Body == nil || r.lock == nil {
+		return
+	}
+	if strings.HasSuffix(decl.Name.Name, "Locked") {
+		return // caller-holds contract; call sites are checked instead
+	}
+	w := &lockWalk{r: r, fresh: r.freshLocals(decl.Body)}
+	w.block(decl.Body, make(heldSet))
+}
+
+// heldSet is the set of mutex variables known held at a program point.
+type heldSet map[*types.Var]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// setTo replaces h's contents with src's.
+func (h heldSet) setTo(src heldSet) {
+	for k := range h {
+		delete(h, k)
+	}
+	for k := range src {
+		h[k] = true
+	}
+}
+
+// intersect drops from h every mutex not also in other.
+func (h heldSet) intersect(other heldSet) {
+	for k := range h {
+		if !other[k] {
+			delete(h, k)
+		}
+	}
+}
+
+// lockWalk is the statement-level flow walk.
+type lockWalk struct {
+	r     *ruleRunner
+	fresh map[types.Object]bool
+	inGo  bool // inside a go-launched function literal
+}
+
+// block walks a block, returning true if control cannot fall off its end.
+func (w *lockWalk) block(b *ast.BlockStmt, held heldSet) bool {
+	for _, s := range b.List {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement, mutating held in place; the result reports
+// whether the statement unconditionally leaves this block.
+func (w *lockWalk) stmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, held)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if mu, method, ok := w.r.lockTarget(call); ok {
+				w.exprs(held, call.Fun)
+				switch method {
+				case "Lock", "RLock":
+					held[mu] = true
+				case "Unlock", "RUnlock":
+					delete(held, mu)
+				}
+				return false
+			}
+		}
+		w.exprs(held, s.X)
+		return isPanicCall(w.r, s.X)
+	case *ast.DeferStmt:
+		if _, _, ok := w.r.lockTarget(s.Call); ok {
+			return false // defer mu.Unlock(): mutex stays held to every exit
+		}
+		w.exprs(held, s.Call)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprs(held, e)
+		}
+		for _, e := range s.Lhs {
+			w.exprs(held, e)
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.exprs(held, s.X)
+		return false
+	case *ast.SendStmt:
+		w.exprs(held, s.Chan, s.Value)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.exprs(held, e)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the block; their held state merges at a
+		// join this walk does not model, so it is simply discarded — an
+		// intersection merge can only over-release, never over-hold.
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(held, s.Cond)
+		thenHeld := held.clone()
+		thenTerm := w.block(s.Body, thenHeld)
+		if s.Else == nil {
+			if !thenTerm {
+				held.intersect(thenHeld)
+			}
+			return false
+		}
+		elseHeld := held.clone()
+		elseTerm := w.stmt(s.Else, elseHeld)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			held.setTo(elseHeld)
+		case elseTerm:
+			held.setTo(thenHeld)
+		default:
+			thenHeld.intersect(elseHeld)
+			held.setTo(thenHeld)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.exprs(held, s.Cond)
+		}
+		body := held.clone()
+		term := w.block(s.Body, body)
+		if s.Post != nil && !term {
+			w.stmt(s.Post, body)
+		}
+		if !term {
+			held.intersect(body)
+		}
+		return false
+	case *ast.RangeStmt:
+		w.exprs(held, s.X)
+		body := held.clone()
+		if !w.block(s.Body, body) {
+			held.intersect(body)
+		}
+		return false
+	case *ast.SwitchStmt:
+		return w.caseStmt(held, s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		return w.caseStmt(held, nil, nil, s.Body)
+	case *ast.SelectStmt:
+		exits := make([]heldSet, 0, len(s.Body.List))
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			ch := held.clone()
+			if comm.Comm != nil {
+				w.stmt(comm.Comm, ch)
+			}
+			if !w.stmts(comm.Body, ch) {
+				exits = append(exits, ch)
+			}
+		}
+		return w.mergeExits(held, exits, len(s.Body.List) > 0)
+	case *ast.GoStmt:
+		w.goStmt(s.Call, held)
+		return false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprs(held, v)
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// caseStmt handles switch/type-switch bodies: every case runs on a copy of
+// the entry state; the post state is the intersection of the fall-through
+// exits, plus the entry state when no default exists (the switch may match
+// nothing).
+func (w *lockWalk) caseStmt(held heldSet, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) bool {
+	if init != nil {
+		w.stmt(init, held)
+	}
+	if tag != nil {
+		w.exprs(held, tag)
+	}
+	hasDefault := false
+	var exits []heldSet
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.exprs(held, e)
+		}
+		ch := held.clone()
+		if !w.stmts(cc.Body, ch) {
+			exits = append(exits, ch)
+		}
+	}
+	return w.mergeExits(held, exits, hasDefault)
+}
+
+// mergeExits folds branch exit states back into held. exhaustive means one
+// of the branches definitely ran (select, or switch with default); a
+// non-exhaustive statement keeps the entry state in the merge. Returns
+// true when every possible path terminated.
+func (w *lockWalk) mergeExits(held heldSet, exits []heldSet, exhaustive bool) bool {
+	if exhaustive && len(exits) == 0 {
+		return true
+	}
+	if len(exits) == 0 {
+		return false
+	}
+	merged := exits[0].clone()
+	for _, e := range exits[1:] {
+		merged.intersect(e)
+	}
+	if exhaustive {
+		held.setTo(merged)
+	} else {
+		held.intersect(merged)
+	}
+	return false
+}
+
+func (w *lockWalk) stmts(list []ast.Stmt, held heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// goStmt checks a spawned goroutine. The function value and arguments are
+// evaluated in the launching goroutine (Go spec), so they see the current
+// held set; only the launched literal's body runs with no locks held, and
+// `guarded by caller` fields become untouchable inside it.
+func (w *lockWalk) goStmt(call *ast.CallExpr, held heldSet) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		inner := &lockWalk{r: w.r, fresh: w.fresh, inGo: true}
+		inner.block(lit.Body, make(heldSet))
+	} else {
+		w.exprs(held, call.Fun)
+	}
+	for _, arg := range call.Args {
+		w.exprs(held, arg)
+	}
+}
+
+// exprs checks every guarded-field access and *Locked call inside the
+// given expressions, recursing into function literals with an empty held
+// set.
+func (w *lockWalk) exprs(held heldSet, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				inner := &lockWalk{r: w.r, fresh: w.fresh, inGo: w.inGo}
+				inner.block(n.Body, make(heldSet))
+				return false
+			case *ast.SelectorExpr:
+				w.checkFieldAccess(n, held)
+				// Recurse into X only: visiting Sel as a bare ident would
+				// double-report the same field access.
+				w.exprs(held, n.X)
+				return false
+			case *ast.Ident:
+				w.checkVarAccess(n, held)
+			case *ast.CallExpr:
+				w.checkLockedCall(n, held)
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldAccess flags a guarded-field selector reached without its
+// mutex.
+func (w *lockWalk) checkFieldAccess(sel *ast.SelectorExpr, held heldSet) {
+	s := w.r.pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec := w.r.lock.guarded[fv]
+	if spec == nil {
+		return
+	}
+	if spec.caller {
+		if w.inGo {
+			w.r.report(sel.Sel.Pos(), "LOCK01",
+				"%s.%s is guarded by its caller and must not be touched from a spawned goroutine", spec.owner, spec.field)
+		}
+		return
+	}
+	if held[spec.mutex] {
+		return
+	}
+	if w.freshOwner(sel.X) {
+		return
+	}
+	w.r.report(sel.Sel.Pos(), "LOCK01",
+		"%s.%s is guarded by %s, which is not held here (lock it, or move the access into a *Locked helper)", spec.owner, spec.field, spec.name)
+}
+
+// checkVarAccess flags a guarded package-level variable reached without
+// its mutex.
+func (w *lockWalk) checkVarAccess(id *ast.Ident, held heldSet) {
+	v, ok := w.r.pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return // fields are handled at their selector (or literal key)
+	}
+	spec := w.r.lock.guarded[v]
+	if spec == nil || spec.mutex == nil || held[spec.mutex] {
+		return
+	}
+	w.r.report(id.Pos(), "LOCK01",
+		"%s is guarded by %s, which is not held here (lock it, or move the access into a *Locked helper)", spec.field, spec.name)
+}
+
+// checkLockedCall enforces the *Locked callee convention: calling a
+// same-package function named *Locked requires some tracked mutex to be
+// held (or a freshly constructed receiver).
+func (w *lockWalk) checkLockedCall(call *ast.CallExpr, held heldSet) {
+	fn := w.r.callee(call)
+	if fn == nil || fn.Pkg() != w.r.pkg.Types || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	if len(held) > 0 {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.freshOwner(sel.X) {
+		return
+	}
+	w.r.report(call.Pos(), "LOCK01",
+		"call to %s without holding a lock (the *Locked suffix is the caller-holds-the-mutex contract)", fn.Name())
+}
+
+// freshOwner reports whether the access target is a local constructed in
+// this function (composite literal or new): a fresh object is private
+// until published, so its guarded fields need no lock yet.
+func (w *lockWalk) freshOwner(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.r.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = w.r.pkg.Info.Defs[id]
+	}
+	return obj != nil && w.fresh[obj]
+}
+
+// freshLocals collects locals assigned from composite literals or new()
+// anywhere in body — the receivers the fresh-object exemption applies to.
+func (r *ruleRunner) freshLocals(body ast.Node) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !isFreshExpr(r, as.Rhs[i]) {
+				continue
+			}
+			if obj := r.pkg.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(r *ruleRunner, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := r.pkg.Info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether the expression is a direct panic(...) call —
+// the one expression statement that terminates control flow.
+func isPanicCall(r *ruleRunner, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := r.pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The engine tests feed single-file packages straight through the full
+// pipeline and assert on the exact LOCK01 lines, pinning the flow
+// semantics the golden fixtures exercise more broadly: defer-unlock,
+// early-return unlock, the *Locked callee convention, and — the
+// deliberately-unsound case — a double Lock followed by one Unlock, where
+// boolean (non-counting) held-ness must NOT believe the mutex is still
+// held.
+
+// lintSource lints one in-memory file and returns the lines on which each
+// rule fired, keyed "RULE:line".
+func lintSource(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(dir, "fix/mem")
+	pkg, err := l.loadDir(dir, "fix/mem")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, d := range lintPackage(l.fset, pkg, fixtureConfig()) {
+		got[fmt.Sprintf("%s:%d", d.Rule, d.Pos.Line)] = true
+	}
+	return got
+}
+
+const lockPrelude = `package mem
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func (b *box) getLocked() int { return b.v }
+`
+
+func TestLockEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		body string // appended to lockPrelude; line 11 is the blank after it
+		want []string
+	}{
+		{
+			name: "defer unlock covers whole body",
+			body: `
+func f(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v++
+	return b.v
+}`,
+			want: nil,
+		},
+		{
+			name: "early-return unlock keeps later reads covered",
+			body: `
+func f(b *box, stop bool) int {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.v
+	b.mu.Unlock()
+	return n
+}`,
+			want: nil,
+		},
+		{
+			name: "access after early-path merge is unprotected",
+			body: `
+func f(b *box, stop bool) int {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+	}
+	return b.v
+}`,
+			// After the if, the then-branch released mu: intersection says
+			// not held.
+			want: []string{"LOCK01:17"},
+		},
+		{
+			name: "locked callee convention",
+			body: `
+func f(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.getLocked()
+}
+
+func g(b *box) int {
+	return b.getLocked()
+}`,
+			want: []string{"LOCK01:19"},
+		},
+		{
+			name: "unsound double lock must not leave a false held state",
+			body: `
+func f(b *box) int {
+	b.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.v
+}`,
+			// Held-ness is boolean: after the first Unlock the engine must
+			// treat mu as free, even though Lock ran twice — a counting
+			// engine would silently bless the b.v read.
+			want: []string{"LOCK01:16"},
+		},
+		{
+			name: "unlock in loop body releases for the code after the loop",
+			body: `
+func f(b *box, n int) int {
+	b.mu.Lock()
+	for i := 0; i < n; i++ {
+		b.mu.Unlock()
+	}
+	return b.v
+}`,
+			want: []string{"LOCK01:17"},
+		},
+		{
+			name: "relock after unlocked section",
+			body: `
+func f(b *box) int {
+	b.mu.Lock()
+	n := b.v
+	b.mu.Unlock()
+	n++
+	b.mu.Lock()
+	n += b.v
+	b.mu.Unlock()
+	return n
+}`,
+			want: nil,
+		},
+		{
+			name: "closure does not inherit the creator's locks",
+			body: `
+func f(b *box) func() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() int { return b.v }
+}`,
+			want: []string{"LOCK01:15"},
+		},
+		{
+			name: "fresh object needs no lock until published",
+			body: `
+func f() *box {
+	b := &box{}
+	b.v = 1
+	return b
+}`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lintSource(t, lockPrelude+tc.body)
+			want := make(map[string]bool, len(tc.want))
+			for _, w := range tc.want {
+				want[w] = true
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("expected %s to fire; got %v", k, keys(got))
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected diagnostic %s", k)
+				}
+			}
+		})
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,18 +1,23 @@
 // Command bionav-lint is BioNav's custom static analyzer. It machine-checks
 // the project invariants the compiler cannot see — deterministic replay
 // (DET01/DET02), context discipline (CTX01), library logging hygiene
-// (LOG01), and error wrapping (ERR01) — using only the standard library's
-// go/parser, go/ast, and go/types (no x/tools, honoring the stdlib-only
-// rule). See docs/STATIC_ANALYSIS.md for the rule catalog and the
-// //lint:ignore suppression syntax.
+// (LOG01), error wrapping (ERR01), concurrency discipline (LOCK01/LOCK02
+// guarded fields, ATOM01 atomics, GORO01 goroutine supervision), and
+// cross-artifact consistency (OBS01 metrics ↔ catalog ↔ docs, FAULT01
+// fault sites ↔ tests) — using only the standard library's go/parser,
+// go/ast, and go/types (no x/tools, honoring the stdlib-only rule). See
+// docs/STATIC_ANALYSIS.md for the rule catalog and the //lint:ignore
+// suppression syntax.
 //
 // Usage:
 //
-//	bionav-lint [./...|import-path...]
+//	bionav-lint [-audit] [./...|import-path...]
 //
 // With no arguments (or "./..."), every package of the enclosing module is
 // linted. Diagnostics print as "file:line:col: RULE: message"; the exit
-// status is 1 if any diagnostic fires.
+// status is 1 if any diagnostic fires. With -audit, no linting happens:
+// the module's //lint:ignore inventory is printed as JSON (rule → count →
+// files) for the LINT_BASELINE.json snapshot.
 package main
 
 import (
@@ -25,10 +30,18 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bionav-lint [./...|import-path...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bionav-lint [-audit] [./...|import-path...]\n")
 		flag.PrintDefaults()
 	}
+	audit := flag.Bool("audit", false, "emit the module's suppression inventory as JSON instead of linting")
 	flag.Parse()
+	if *audit {
+		if err := runAudit(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bionav-lint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	n, err := run(flag.Args(), os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bionav-lint: %v\n", err)
@@ -53,12 +66,14 @@ func run(args []string, out *os.File) (int, error) {
 	l := newLoader(modDir, modPath)
 
 	var paths []string
+	full := false // a whole-module run also gets the cross-artifact checks
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
 	for _, a := range args {
 		switch {
 		case a == "./..." || a == "...":
+			full = true
 			all, err := l.discover()
 			if err != nil {
 				return 0, err
@@ -86,19 +101,71 @@ func run(args []string, out *os.File) (int, error) {
 
 	cfg := repoConfig(modPath)
 	total := 0
+	emit := func(d diagnostic) {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+		total++
+	}
+	var pkgs []*lintPkg
 	for _, p := range paths {
 		pkg, err := l.load(p)
 		if err != nil {
 			return 0, err
 		}
+		pkgs = append(pkgs, pkg)
 		for _, d := range lintPackage(l.fset, pkg, cfg) {
-			rel := d.Pos.Filename
-			if r, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-				rel = r
-			}
-			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
-			total++
+			emit(d)
+		}
+	}
+	if full {
+		cc, err := repoCrossConfig(modDir, modPath)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range runCrossChecks(l.fset, pkgs, cc) {
+			emit(d)
 		}
 	}
 	return total, nil
+}
+
+// repoCrossConfig names the real module's cross-checked artifacts.
+func repoCrossConfig(modDir, modPath string) (crossConfig, error) {
+	tests, err := findTestFiles(modDir)
+	if err != nil {
+		return crossConfig{}, err
+	}
+	return crossConfig{
+		obsPkg:      modPath + "/internal/obs",
+		faultsPkg:   modPath + "/internal/faults",
+		catalogFile: filepath.Join(modDir, "cmd", "bionav-server", "main_test.go"),
+		docFile:     filepath.Join(modDir, "docs", "OBSERVABILITY.md"),
+		testFiles:   tests,
+	}, nil
+}
+
+// findTestFiles lists every _test.go file in the module (testdata and
+// hidden directories excluded), for FAULT01's coverage scan.
+func findTestFiles(modDir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
 }

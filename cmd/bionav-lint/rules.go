@@ -54,6 +54,11 @@ type config struct {
 	// structured slog loggers and the obs registry, and a stray
 	// Logger.Printf bypasses both.
 	log01Strict []string
+	// goro01Scope lists the packages where bare go statements are banned
+	// (GORO01): long-lived library code whose goroutines must be
+	// supervised. LOCK01 and ATOM01 need no scope — they fire wherever a
+	// guarded-by annotation or an atomic field exists.
+	goro01Scope []string
 }
 
 // repoConfig is the configuration `make lint` runs with — the scopes the
@@ -69,6 +74,7 @@ func repoConfig(modPath string) config {
 			p("internal/navtree"), p("internal/navigate"), p("internal/eutils"),
 			p("internal/store"),
 		},
+		goro01Scope: []string{p("internal/")},
 	}
 }
 
@@ -85,6 +91,8 @@ func hasPrefixAny(path string, prefixes []string) bool {
 // diagnostics.
 func runRules(fset *token.FileSet, pkg *lintPkg, cfg config) []diagnostic {
 	r := &ruleRunner{fset: fset, pkg: pkg, cfg: cfg}
+	r.lock = collectGuards(r)
+	r.atomics = collectAtomicFields(r)
 	for _, f := range pkg.Files {
 		r.file(f)
 	}
@@ -92,10 +100,12 @@ func runRules(fset *token.FileSet, pkg *lintPkg, cfg config) []diagnostic {
 }
 
 type ruleRunner struct {
-	fset  *token.FileSet
-	pkg   *lintPkg
-	cfg   config
-	diags []diagnostic
+	fset    *token.FileSet
+	pkg     *lintPkg
+	cfg     config
+	diags   []diagnostic
+	lock    *lockInfo   // guarded-by annotations (LOCK01)
+	atomics *atomicInfo // atomic-field inference (ATOM01)
 }
 
 func (r *ruleRunner) report(pos token.Pos, rule, format string, args ...any) {
@@ -168,6 +178,7 @@ func (r *ruleRunner) file(f *ast.File) {
 	ctxBan := r.pkg.Name != "main" && hasPrefixAny(r.pkg.ImportPath, r.cfg.ctxBanScope)
 	log01 := r.pkg.Name != "main"
 	log01strict := log01 && hasPrefixAny(r.pkg.ImportPath, r.cfg.log01Strict)
+	goro01 := hasPrefixAny(r.pkg.ImportPath, r.cfg.goro01Scope)
 
 	if det01 {
 		for _, imp := range f.Imports {
@@ -206,9 +217,14 @@ func (r *ruleRunner) file(f *ast.File) {
 			if det02 {
 				r.checkMapRanges(n)
 			}
+			r.checkLock01(n)
+			if goro01 {
+				r.checkGoro01(n)
+			}
 		}
 		return true
 	})
+	r.checkAtom01(f)
 }
 
 // checkErrorf implements ERR01.

@@ -10,6 +10,11 @@ package main
 // linter's contract is "zero unexplained suppressions" — and a suppression
 // that matches nothing is itself an error (LINT02), so stale ignores are
 // flushed out when the code they excused gets fixed.
+//
+// Suppressing a concurrency rule (LOCK01, ATOM01, GORO01) is excusing a
+// potential data race, so its reason must be a real sentence: LINT03
+// rejects reasons under three words ("ok", "legacy", "for now") for those
+// rules.
 
 import (
 	"go/token"
@@ -49,15 +54,34 @@ func collectSuppressions(fset *token.FileSet, pkg *lintPkg) ([]*suppression, []d
 					})
 					continue
 				}
-				sups = append(sups, &suppression{
+				s := &suppression{
 					Pos:    pos,
 					Rules:  strings.Split(fields[0], ","),
 					Reason: strings.Join(fields[1:], " "),
-				})
+				}
+				if rule, ok := concurrencyRule(s.Rules); ok && len(fields[1:]) < 3 {
+					diags = append(diags, diagnostic{
+						Pos:  pos,
+						Rule: "LINT03",
+						Msg:  "suppressing " + rule + " excuses a potential data race: the reason must say why it is safe (three words minimum)",
+					})
+				}
+				sups = append(sups, s)
 			}
 		}
 	}
 	return sups, diags
+}
+
+// concurrencyRule reports the first LINT03-scoped rule in the list.
+func concurrencyRule(rules []string) (string, bool) {
+	for _, r := range rules {
+		switch r {
+		case "LOCK01", "ATOM01", "GORO01":
+			return r, true
+		}
+	}
+	return "", false
 }
 
 // applySuppressions filters diags through sups and appends an LINT02

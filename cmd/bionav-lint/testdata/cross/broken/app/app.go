@@ -1,0 +1,18 @@
+// Package app drifts from its artifacts in every direction OBS01 must
+// catch: an orphan registration, and a dynamic metric name the catalog
+// cannot be checked against.
+package app
+
+import "fixcross/obs"
+
+var reg obs.Registry
+
+func name() string { return "bionav_dynamic_total" }
+
+var (
+	metFrobs = reg.Counter("bionav_frobs_total", "frobs performed")
+	// Registered but in neither the catalog nor the doc table.
+	metOrphan = reg.Counter("bionav_orphans_total", "orphaned registrations")
+	// Not a constant string: the catalog cannot vouch for it.
+	metDynamic = reg.Gauge(name(), "dynamic")
+)

@@ -1,0 +1,7 @@
+// Catalog with a ghost row: no registration backs bionav_ghost_total.
+package cross
+
+var metricCatalog = []struct{ name, kind string }{
+	{"bionav_frobs_total", "counter"},
+	{"bionav_ghost_total", "counter"},
+}

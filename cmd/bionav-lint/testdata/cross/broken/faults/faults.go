@@ -1,0 +1,7 @@
+// Package faults declares one armed site and one nothing ever tests.
+package faults
+
+const (
+	SiteFrob = "frob/fail"
+	SiteDark = "dark/site"
+)

@@ -1,0 +1,12 @@
+package cross
+
+import "testing"
+
+// TestFaultFrob covers the frob site; the dark site is referenced by no
+// TestFault* test anywhere (naming it even in a comment here would count,
+// since the corpus is the file's full text).
+func TestFaultFrob(t *testing.T) {
+	arm(t, "frob/fail")
+}
+
+func arm(t *testing.T, site string) { t.Helper() }

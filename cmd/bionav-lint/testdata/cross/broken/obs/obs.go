@@ -1,0 +1,8 @@
+// Package obs is a miniature of internal/obs (see ../clean/obs).
+package obs
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *int64   { return new(int64) }
+func (r *Registry) Gauge(name, help string) *int64     { return new(int64) }
+func (r *Registry) Histogram(name, help string) *int64 { return new(int64) }

@@ -1,0 +1,17 @@
+// Package app registers metrics and aliases a fault site, the two shapes
+// the cross checks reconcile against catalogs, docs, and tests.
+package app
+
+import "fixcross/obs"
+
+// SiteFrobAlias re-exports the frob fault site under a local name, the
+// way internal/journal aliases faults.SiteJournalAppend. A TestFault that
+// names the alias covers the site.
+const SiteFrobAlias = "frob/fail"
+
+var reg obs.Registry
+
+var (
+	metFrobs   = reg.Counter("bionav_frobs_total", "frobs performed")
+	metLatency = reg.Histogram("bionav_frob_seconds", "frob latency")
+)

@@ -1,0 +1,8 @@
+// The catalog file is parsed standalone by OBS01 — it stands in for the
+// real cmd/bionav-server/main_test.go metric table.
+package cross
+
+var metricCatalog = []struct{ name, kind string }{
+	{"bionav_frobs_total", "counter"},
+	{"bionav_frob_seconds", "histogram"},
+}

@@ -1,0 +1,8 @@
+// Package faults is a miniature fault-site catalog: FAULT01 collects the
+// Site* string constants and demands TestFault* coverage for each.
+package faults
+
+const (
+	SiteFrob  = "frob/fail"
+	SiteStore = "store/load"
+)

@@ -1,0 +1,13 @@
+package cross
+
+import "testing"
+
+// TestFaultFrob arms the frob site through its alias and the store site
+// by literal value — the two coverage spellings FAULT01 accepts besides
+// the const name itself.
+func TestFaultFrob(t *testing.T) {
+	arm(t, SiteFrobAlias)
+	arm(t, "store/load")
+}
+
+func arm(t *testing.T, site string) { t.Helper() }

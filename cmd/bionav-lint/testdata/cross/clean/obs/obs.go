@@ -1,0 +1,13 @@
+// Package obs is a miniature of internal/obs: just enough Registry
+// surface for the OBS01 registration collector to resolve method calls.
+package obs
+
+// Registry mirrors the real registry's registration entry points.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *int64   { return new(int64) }
+func (r *Registry) Gauge(name, help string) *int64     { return new(int64) }
+func (r *Registry) Histogram(name, help string) *int64 { return new(int64) }
+func (r *Registry) CounterVec(name, help string, labels ...string) *int64 {
+	return new(int64)
+}

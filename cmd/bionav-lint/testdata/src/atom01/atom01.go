@@ -1,0 +1,60 @@
+// Package atom01 exercises ATOM01: fields accessed through sync/atomic —
+// by inference (&f passed to an atomic function) or by type (atomic.Bool
+// and friends) — must never be accessed with a plain read or write.
+package atom01
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64 // atomic by inference: Record uses atomic.AddInt64 on it
+	cold int64 // never touched atomically: plain access is fine
+	flag atomic.Bool
+}
+
+// Record is the access that makes hits an atomic field.
+func (s *stats) Record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// LoadHits stays on the atomic side: fine.
+func (s *stats) LoadHits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// PlainRead mixes a plain read into the atomic field.
+func (s *stats) PlainRead() int64 {
+	return s.hits // want ATOM01
+}
+
+// PlainWrite mixes a plain write in.
+func (s *stats) PlainWrite() {
+	s.hits = 0 // want ATOM01
+}
+
+// Cold never saw an atomic op; plain access carries no mixing hazard.
+func (s *stats) Cold() int64 {
+	s.cold++
+	return s.cold
+}
+
+// TypedOK drives the typed atomic through its methods.
+func (s *stats) TypedOK() bool {
+	s.flag.Store(true)
+	return s.flag.Load()
+}
+
+// TypedByPointer passes the atomic by pointer — the legal way to share it.
+func (s *stats) TypedByPointer() *atomic.Bool {
+	return &s.flag
+}
+
+// TypedCopy copies the atomic value, tearing it from its address.
+func (s *stats) TypedCopy() atomic.Bool {
+	return s.flag // want ATOM01
+}
+
+// Suppressed documents an init-time exception with a real reason.
+func (s *stats) Suppressed() int64 {
+	//lint:ignore ATOM01 constructor runs before any goroutine exists
+	return s.hits
+}

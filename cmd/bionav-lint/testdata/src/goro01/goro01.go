@@ -1,0 +1,59 @@
+// Package goro01 exercises GORO01: in scoped packages every go statement
+// must be supervised — WaitGroup in the same function, a done-channel
+// receive after the launch, or a reasoned suppression.
+package goro01
+
+import "sync"
+
+func work() {}
+
+// Bare launches a goroutine nothing ever joins.
+func Bare() {
+	go work() // want GORO01
+}
+
+// WaitGrouped is the journal-syncer shape: Add before, Wait (elsewhere or
+// here) joins it.
+func WaitGrouped() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// DoneChannel joins through a channel receive after the launch.
+func DoneChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// SelfReceiveOnly only receives inside the launched goroutine itself —
+// that is the goroutine waiting, not the function joining it.
+func SelfReceiveOnly(stop chan struct{}) {
+	go func() { // want GORO01
+		<-stop
+		work()
+	}()
+}
+
+// Suppressed is the documented escape hatch, with a reason LINT03
+// accepts.
+func Suppressed() {
+	//lint:ignore GORO01 process-lifetime pprof listener is never joined
+	go work()
+}
+
+// ThinReason suppresses the launch but with a throwaway reason: the
+// suppression still silences GORO01 (no double report), and LINT03 flags
+// the reason itself.
+func ThinReason() {
+	//lint:ignore GORO01 legacy
+	go work() // want LINT03@-1
+}

@@ -1,0 +1,157 @@
+// Package lock01 exercises LOCK01: guarded-by annotations, the lock-state
+// engine's branch handling, the *Locked callee convention, the fresh-object
+// exemption, cross-struct guards, caller-guarded fields, and suppression.
+package lock01
+
+import "sync"
+
+// counter is the canonical annotated struct: n and m may only be touched
+// under mu.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+}
+
+// DeferUnlock is the standard shape: Lock plus deferred Unlock covers the
+// whole body.
+func (c *counter) DeferUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Unguarded reads n with no lock at all.
+func (c *counter) Unguarded() int {
+	return c.n // want LOCK01
+}
+
+// EarlyReturn unlocks on the early path and again at the end; both reads
+// are covered.
+func (c *counter) EarlyReturn(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// AfterUnlock releases mu and then touches n: the engine must not treat a
+// past lock as still held.
+func (c *counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want LOCK01
+}
+
+// OneBranchLocks locks in only one arm, so the merged state after the if
+// is unlocked.
+func (c *counter) OneBranchLocks(lock bool) int {
+	if lock {
+		c.mu.Lock()
+	}
+	n := c.n // want LOCK01
+	c.mu.Unlock()
+	return n
+}
+
+// incLocked is the *Locked convention: its body is exempt because the
+// name promises the caller holds mu.
+func (c *counter) incLocked() { c.n++ }
+
+// ViaLocked holds mu across the *Locked call: fine.
+func (c *counter) ViaLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+// LockedCallWithoutLock calls a *Locked helper with nothing held.
+func (c *counter) LockedCallWithoutLock() {
+	c.incLocked() // want LOCK01
+}
+
+// NewCounter mutates guarded fields of a freshly built object: private
+// until published, so no lock is needed.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.incLocked()
+	return c
+}
+
+// owner / item exercise the cross-struct grammar: item.last is guarded by
+// a mutex living on owner.
+type owner struct {
+	mu sync.Mutex
+}
+
+type item struct {
+	last int // guarded by owner.mu
+}
+
+// Touch holds the owner's mutex while writing the item: fine.
+func Touch(o *owner, it *item) {
+	o.mu.Lock()
+	it.last = 1
+	o.mu.Unlock()
+}
+
+// TouchUnlocked writes the item with the owner's mutex free.
+func TouchUnlocked(it *item) {
+	it.last = 2 // want LOCK01
+}
+
+// external's state is serialized by its owner, not an in-package mutex:
+// in-package code may touch it freely except from spawned goroutines.
+type external struct {
+	state int // guarded by caller
+}
+
+// Step runs on the caller's goroutine: allowed.
+func (e *external) Step() { e.state++ }
+
+// Leak hands the caller-guarded state to a goroutine the caller cannot
+// serialize.
+func (e *external) Leak() {
+	go func() {
+		e.state++ // want LOCK01
+	}()
+}
+
+// Suppressed documents why a lock-free read is safe; the reasoned
+// directive silences LOCK01 and satisfies LINT03.
+func (c *counter) Suppressed() int {
+	//lint:ignore LOCK01 stats snapshot tolerates torn reads by design
+	return c.n
+}
+
+// Package-level guards work the same way as struct-sibling ones.
+var (
+	regMu sync.Mutex
+	reg   map[string]int // guarded by regMu
+)
+
+// Register holds regMu around every reg access.
+func Register(k string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if reg == nil {
+		reg = make(map[string]int)
+	}
+	reg[k]++
+}
+
+// Peek reads the registry without the mutex.
+func Peek(k string) int {
+	return reg[k] // want LOCK01
+}
+
+// typo carries an annotation naming a guard that does not exist; a silent
+// no-op annotation would be worse than none, so it is LOCK02.
+type typo struct {
+	x int // guarded by nonexistent // want LOCK02
+}

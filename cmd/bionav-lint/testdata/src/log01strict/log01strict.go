@@ -1,0 +1,26 @@
+// Package log01strict exercises LOG01's strict mode: in instrumented
+// packages even a caller-supplied *log.Logger is flagged, steering the
+// code to *slog.Logger (docs/OBSERVABILITY.md).
+package log01strict
+
+import (
+	"log"
+	"log/slog"
+)
+
+// Legacy drives an injected log.Logger — clean under plain LOG01 (it is
+// a method, not package-global printing), flagged under strict mode.
+func Legacy(lg *log.Logger, v int) {
+	lg.Printf("value: %d", v) // want LOG01
+	lg.Println("done")        // want LOG01
+}
+
+// Direct still trips the base rule inside strict packages.
+func Direct(v int) {
+	log.Printf("value: %d", v) // want LOG01
+}
+
+// Modern uses slog, the sanctioned structured logger; clean.
+func Modern(lg *slog.Logger, v int) {
+	lg.Info("value", "v", v)
+}

@@ -141,7 +141,8 @@ func (f *failpoint) eval() (Action, bool) {
 }
 
 var (
-	mu    sync.Mutex
+	mu sync.Mutex
+	// sites maps name to failpoint (guarded by mu).
 	sites map[string]*failpoint
 
 	// armed counts armed sites; Inject's fast path reads it without the

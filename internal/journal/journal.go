@@ -156,14 +156,17 @@ type Journal struct {
 	opts Options
 
 	mu     sync.Mutex
-	f      *os.File // current segment; nil after Close
-	seg    int      // current segment index
-	size   int64    // bytes written to the current segment
-	dirty  bool     // unsynced appends (interval policy)
-	closed bool
+	f      *os.File // guarded by mu; current segment, nil after Close
+	seg    int      // guarded by mu; current segment index
+	size   int64    // guarded by mu; bytes written to the current segment
+	dirty  bool     // guarded by mu; unsynced appends (interval policy)
+	closed bool     // guarded by mu
 
-	recovered []Record
-	tornTails int
+	// Recovery state: filled during the Open scan, read by Recovered and
+	// TornTails, reset by Checkpoint — the accessors race with a concurrent
+	// checkpoint unless they take the lock too.
+	recovered []Record // guarded by mu
+	tornTails int      // guarded by mu
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -211,11 +214,19 @@ func Open(dir string, opts Options) (*Journal, error) {
 
 // Recovered returns the records scanned at Open, in append order. The
 // slice is shared: callers must not mutate it.
-func (j *Journal) Recovered() []Record { return j.recovered }
+func (j *Journal) Recovered() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
 
 // TornTails reports how many segment truncations the Open scan performed
-// (0 on a clean journal).
-func (j *Journal) TornTails() int { return j.tornTails }
+// (0 on a clean journal, reset by Checkpoint).
+func (j *Journal) TornTails() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tornTails
+}
 
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
@@ -496,7 +507,9 @@ func (j *Journal) scanSegment(seg int) (recs []Record, clean bool) {
 // truncate cuts a scanned segment at the last good frame boundary,
 // discarding the torn tail so the next scan is clean.
 func (j *Journal) truncate(path string, offset int64) {
+	j.mu.Lock()
 	j.tornTails++
+	j.mu.Unlock()
 	metTornTails.Inc()
 	j.logWarn("recovery: truncating torn tail", "segment", path, "offset", offset)
 	if err := os.Truncate(path, offset); err != nil {

@@ -1,0 +1,74 @@
+package journal
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestRaceRecoveryAccessorsVsCheckpoint is the -race regression for the
+// recovery-state accessors: Recovered and TornTails used to read their
+// fields without the lock, racing with Checkpoint's reset of the same
+// fields. Open a journal over a torn tail (so both fields are non-zero),
+// then hammer the accessors and stats-path reads from several goroutines
+// while Checkpoint and Append run concurrently. The assertions are
+// deliberately weak — the test's teeth are the race detector's.
+func TestRaceRecoveryAccessorsVsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	appendN(t, j, 10)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := newestSegment(t, dir)
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if j2.TornTails() != 1 {
+		t.Fatalf("TornTails = %d, want 1 before the race", j2.TornTails())
+	}
+	snapshot := j2.Recovered()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = j2.TornTails()
+				_ = j2.Recovered()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := j2.Checkpoint(snapshot); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := j2.Append(rec(100 + i)); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := j2.TornTails(); got != 0 {
+		t.Fatalf("TornTails = %d after checkpoint, want 0", got)
+	}
+	if got := j2.Recovered(); got != nil {
+		t.Fatalf("Recovered returned %d records after checkpoint, want none", len(got))
+	}
+}

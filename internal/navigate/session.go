@@ -68,11 +68,11 @@ func (c Cost) Total() int { return c.Navigation() + c.CitationsListed }
 
 // Session is one user's navigation over a query result.
 type Session struct {
-	at     *core.ActiveTree
-	policy core.Policy
-	log    []Action
-	cost   Cost
-	cache  *solverCache
+	at     *core.ActiveTree // guarded by caller
+	policy core.Policy      // guarded by caller
+	log    []Action         // guarded by caller
+	cost   Cost             // guarded by caller
+	cache  *solverCache     // guarded by caller
 }
 
 // NewSession starts a navigation over nav using policy for EXPAND actions.

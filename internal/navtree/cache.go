@@ -35,12 +35,12 @@ func NormalizeQuery(q string) string {
 // tree) must be rebuilt per user.
 type Cache struct {
 	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; element values are *cacheEntry
-	items   map[string]*list.Element
-	flights map[string]*flight // in-progress builds, for GetOrBuild coalescing
-	hits    uint64
-	misses  uint64
+	cap     int                      // immutable after NewCache
+	order   *list.List               // guarded by mu; front = most recently used; element values are *cacheEntry
+	items   map[string]*list.Element // guarded by mu
+	flights map[string]*flight       // guarded by mu; in-progress builds, for GetOrBuild coalescing
+	hits    uint64                   // guarded by mu
+	misses  uint64                   // guarded by mu
 }
 
 type cacheEntry struct {

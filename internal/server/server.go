@@ -127,8 +127,8 @@ type Server struct {
 	apiInFlight    atomic.Int64
 
 	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   uint64
+	sessions map[string]*session // guarded by mu
+	nextID   uint64              // guarded by mu
 }
 
 // session is one user's live navigation. The embedded navigate.Session is
@@ -143,9 +143,9 @@ type Server struct {
 // owns mu — it is just unreachable afterwards.
 type session struct {
 	mu       sync.Mutex
-	nav      *navigate.Session
-	keywords string
-	lastUsed time.Time
+	nav      *navigate.Session // guarded by mu
+	keywords string            // immutable after construction
+	lastUsed time.Time         // guarded by Server.mu: the TTL clock belongs to the session table
 	expired  atomic.Bool
 	// journaled counts the log entries already appended to the journal
 	// (guarded by mu); the suffix beyond it is the not-yet-durable part a
