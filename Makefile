@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint lint-fix-audit checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test experiments demo clean
+.PHONY: all check build test race vet fmt lint lint-fix-audit checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test load-test load-bench experiments demo clean
 
 all: fmt vet lint test build
 
@@ -83,6 +83,21 @@ metrics-test:
 parallel-test:
 	GOMAXPROCS=4 $(GO) test -race -run 'SolveComponents|PoolLifecycle|ExpandBatch|FaultBatch|BuildParallel|GetOrBuild|ExpandAllParallel|ConcurrentExpand|SessionExpired|TTL' ./internal/core ./internal/navtree ./internal/navigate ./internal/server
 
+# Load-harness gate: the fixed-seed open-loop smoke (nonzero successes,
+# zero unexpected failures against an in-process server), the session
+# trace determinism proof, the sweep's client/server cross-check, and the
+# drain-shed contract pin — all raced (docs/LOADGEN.md).
+load-test:
+	$(GO) test -race ./internal/loadgen ./cmd/bionav-loadgen
+
+# Record a capacity curve: self-hosted Table I workload server, three
+# geometric offered-load steps, BENCH_load.json out — then validate its
+# bionav-load/v1 schema.
+load-bench:
+	$(GO) run ./cmd/bionav-loadgen -scale small -seed 2009 -rate 4 -rate-factor 2 \
+		-steps 3 -step-duration 2s -think 20ms -actions 5 -out BENCH_load.json
+	$(GO) run ./cmd/bionav-benchcheck BENCH_load.json
+
 # Machine-readable core benchmark run, for before/after comparisons.
 # Includes the instrumentation-overhead benchmark from the repo root, the
 # session-replay (solver-cache) benchmarks from internal/navigate, plus a
@@ -95,12 +110,13 @@ bench-json:
 	GOMAXPROCS=4 $(GO) test -json -bench='BenchmarkSolveComponents' -run='^$$' ./internal/core >> BENCH_core.json
 	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json
 
-# JSONL guard for recorded benchmark baselines: every BENCH_core.json
-# line must parse as a standalone JSON object, or before/after
-# comparisons silently read a truncated run.
+# JSONL guard for recorded benchmark baselines: every line of every
+# recorded BENCH file must parse as a standalone JSON object (and
+# BENCH_load.json additionally against its capacity-curve schema), or
+# before/after comparisons silently read a truncated run.
 bench-check:
 	$(GO) test ./cmd/bionav-benchcheck
-	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json
+	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json BENCH_load.json
 
 # Anytime-optimization gate: the PolyCut DP differential tests, the
 # grade ladder, the w8d3 anytime-beats-static acceptance scenario, and

@@ -9,6 +9,12 @@
 //
 // Exits non-zero listing each offending line. Empty files are rejected
 // too: a bench run that produced nothing is not a baseline.
+//
+// Files whose first line carries `"schema":"bionav-load/v1"` (the
+// capacity curves bionav-loadgen emits) are additionally validated
+// against that schema: >= 3 step records with strictly increasing
+// offered rates, client quantiles, server counter deltas, full outcome
+// accounting, and exactly one knee record.
 package main
 
 import (
@@ -38,17 +44,22 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		n, errs := checkJSONL(f)
+		n, objs, errs := checkJSONL(f)
 		f.Close()
 		if n == 0 {
 			errs = append(errs, fmt.Errorf("file is empty"))
+		}
+		kind := "lines"
+		if len(errs) == 0 && isLoadReport(objs) {
+			kind = loadSchema + " lines"
+			errs = append(errs, checkLoadV1(objs)...)
 		}
 		for _, e := range errs {
 			fmt.Fprintf(stdout, "%s: %v\n", path, e)
 			bad++
 		}
 		if len(errs) == 0 {
-			fmt.Fprintf(stdout, "%s: %d lines ok\n", path, n)
+			fmt.Fprintf(stdout, "%s: %d %s ok\n", path, n, kind)
 		}
 	}
 	if bad > 0 {
@@ -58,11 +69,13 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // checkJSONL scans r line by line, returning the number of non-empty
-// lines and one error per line that is not a standalone JSON object.
-func checkJSONL(r io.Reader) (int, []error) {
+// lines, their parsed objects, and one error per line that is not a
+// standalone JSON object.
+func checkJSONL(r io.Reader) (int, []map[string]json.RawMessage, []error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var errs []error
+	var objs []map[string]json.RawMessage
 	n, lineno := 0, 0
 	for sc.Scan() {
 		lineno++
@@ -74,10 +87,98 @@ func checkJSONL(r io.Reader) (int, []error) {
 		var obj map[string]json.RawMessage
 		if err := json.Unmarshal(line, &obj); err != nil {
 			errs = append(errs, fmt.Errorf("line %d: %w", lineno, err))
+			continue
 		}
+		objs = append(objs, obj)
 	}
 	if err := sc.Err(); err != nil {
 		errs = append(errs, fmt.Errorf("line %d: %w", lineno, err))
 	}
-	return n, errs
+	return n, objs, errs
+}
+
+// loadSchema is the capacity-curve schema bionav-loadgen emits
+// (internal/loadgen/report.go).
+const loadSchema = "bionav-load/v1"
+
+// isLoadReport detects the schema marker on the first line.
+func isLoadReport(objs []map[string]json.RawMessage) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	var schema string
+	_ = json.Unmarshal(objs[0]["schema"], &schema)
+	return schema == loadSchema
+}
+
+// checkLoadV1 validates the shape of a bionav-load/v1 capacity curve: at
+// least three step records carrying client quantiles, server deltas, and
+// full outcome accounting, offered rates strictly increasing, and exactly
+// one knee record.
+func checkLoadV1(objs []map[string]json.RawMessage) []error {
+	var errs []error
+	steps, knees := 0, 0
+	lastRate := 0.0
+	for i, obj := range objs[1:] {
+		lineno := i + 2 // 1-based, past the header
+		var record string
+		_ = json.Unmarshal(obj["record"], &record)
+		switch record {
+		case "step":
+			steps++
+			var step struct {
+				OfferedRate float64                     `json:"offeredRate"`
+				Requests    map[string]json.RawMessage  `json:"requests"`
+				Client      map[string]*json.RawMessage `json:"client"`
+				Server      map[string]*json.RawMessage `json:"server"`
+			}
+			if err := json.Unmarshal(mustMarshal(obj), &step); err != nil {
+				errs = append(errs, fmt.Errorf("line %d: bad step record: %w", lineno, err))
+				continue
+			}
+			if step.OfferedRate <= lastRate {
+				errs = append(errs, fmt.Errorf("line %d: offeredRate %v not above previous step's %v", lineno, step.OfferedRate, lastRate))
+			}
+			lastRate = step.OfferedRate
+			for _, k := range []string{"total", "ok", "degraded", "shed", "timeout", "error"} {
+				if _, ok := step.Requests[k]; !ok {
+					errs = append(errs, fmt.Errorf("line %d: step record missing requests.%s", lineno, k))
+				}
+			}
+			for _, k := range []string{"p50Ms", "p95Ms", "p99Ms", "p999Ms", "achievedRps"} {
+				if _, ok := step.Client[k]; !ok {
+					errs = append(errs, fmt.Errorf("line %d: step record missing client.%s", lineno, k))
+				}
+			}
+			for _, k := range []string{"apiRequests", "shed", "p99Ms"} {
+				if _, ok := step.Server[k]; !ok {
+					errs = append(errs, fmt.Errorf("line %d: step record missing server.%s", lineno, k))
+				}
+			}
+		case "knee":
+			knees++
+			if _, ok := obj["found"]; !ok {
+				errs = append(errs, fmt.Errorf("line %d: knee record missing found", lineno))
+			}
+		default:
+			errs = append(errs, fmt.Errorf("line %d: unknown record %q", lineno, record))
+		}
+	}
+	if steps < 3 {
+		errs = append(errs, fmt.Errorf("capacity curve has %d step(s), want >= 3", steps))
+	}
+	if knees != 1 {
+		errs = append(errs, fmt.Errorf("capacity curve has %d knee record(s), want exactly 1", knees))
+	}
+	return errs
+}
+
+// mustMarshal round-trips a parsed object so it can be re-decoded into a
+// typed view; the input came from json.Unmarshal, so this cannot fail.
+func mustMarshal(obj map[string]json.RawMessage) []byte {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

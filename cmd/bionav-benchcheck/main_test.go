@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,93 @@ func TestMissingFile(t *testing.T) {
 func TestNoArgs(t *testing.T) {
 	if err := run(nil, new(bytes.Buffer)); err == nil {
 		t.Fatal("no-args run accepted")
+	}
+}
+
+const loadStepTmpl = `{"record":"step","step":%d,"offeredRate":%g,"sessions":3,"aborted":0,"elapsedMs":100,` +
+	`"requests":{"total":9,"ok":9,"degraded":0,"shed":0,"timeout":0,"error":0},` +
+	`"client":{"p50Ms":1,"p95Ms":2,"p99Ms":3,"p999Ms":4,"maxMs":5,"meanMs":1.5,"achievedRps":90},` +
+	`"server":{"apiRequests":9,"shed":0,"degraded":0,"timeouts":0,"p99Ms":3}}`
+
+func loadReport(t *testing.T, steps int, withKnee bool) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"schema":"bionav-load/v1","seed":42,"steps":3,"sloP99Ms":500,"maxShedRate":0.01}` + "\n")
+	for i := 0; i < steps; i++ {
+		fmt.Fprintf(&b, loadStepTmpl+"\n", i, float64(2*(i+1)))
+	}
+	if withKnee {
+		b.WriteString(`{"record":"knee","found":true,"step":2,"rate":8,"p99Ms":3,"shedRate":0}` + "\n")
+	}
+	return b.String()
+}
+
+func TestLoadSchemaValid(t *testing.T) {
+	p := writeFile(t, "load.json", loadReport(t, 3, true))
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err != nil {
+		t.Fatalf("valid load report rejected: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bionav-load/v1") {
+		t.Fatalf("schema not recognized: %q", out.String())
+	}
+}
+
+func TestLoadSchemaTooFewSteps(t *testing.T) {
+	p := writeFile(t, "load.json", loadReport(t, 2, true))
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err == nil {
+		t.Fatal("2-step capacity curve accepted, want >= 3")
+	}
+	if !strings.Contains(out.String(), "want >= 3") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestLoadSchemaMissingKnee(t *testing.T) {
+	p := writeFile(t, "load.json", loadReport(t, 3, false))
+	if err := run([]string{p}, new(bytes.Buffer)); err == nil {
+		t.Fatal("kneeless capacity curve accepted")
+	}
+}
+
+func TestLoadSchemaNonIncreasingRate(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"schema":"bionav-load/v1"}` + "\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, loadStepTmpl+"\n", i, 5.0) // flat offered rate
+	}
+	b.WriteString(`{"record":"knee","found":false,"step":0,"rate":0,"p99Ms":0,"shedRate":0}` + "\n")
+	p := writeFile(t, "load.json", b.String())
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err == nil {
+		t.Fatal("flat-rate sweep accepted")
+	}
+	if !strings.Contains(out.String(), "not above previous") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestLoadSchemaMissingQuantile(t *testing.T) {
+	bad := strings.ReplaceAll(loadReport(t, 3, true), `"p99Ms":3,"p999Ms":4`, `"p999Ms":4`)
+	p := writeFile(t, "load.json", bad)
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err == nil {
+		t.Fatal("step without client p99 accepted")
+	}
+	if !strings.Contains(out.String(), "client.p99Ms") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// Plain go-test JSONL must not be mistaken for a load report.
+func TestPlainJSONLUntouchedBySchemaCheck(t *testing.T) {
+	p := writeFile(t, "core.json", `{"Action":"pass","Package":"x"}`+"\n")
+	var out bytes.Buffer
+	if err := run([]string{p}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "bionav-load") {
+		t.Fatalf("plain JSONL misdetected: %q", out.String())
 	}
 }

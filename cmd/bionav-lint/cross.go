@@ -40,7 +40,7 @@ type crossConfig struct {
 // first argument of each is the metric name.
 var registryMethods = map[string]bool{
 	"Counter": true, "CounterVec": true,
-	"Gauge": true, "GaugeFunc": true,
+	"Gauge": true, "GaugeFunc": true, "GaugeVec": true,
 	"Histogram": true, "HistogramVec": true,
 }
 

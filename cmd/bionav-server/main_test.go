@@ -122,6 +122,7 @@ func TestBuildJournalRecovery(t *testing.T) {
 var metricCatalog = []struct{ name, kind string }{
 	{"bionav_anytime_improvements_total", "counter"},
 	{"bionav_anytime_rounds", "histogram"},
+	{"bionav_build_info", "gauge"},
 	{"bionav_citation_cache_hits_total", "counter"},
 	{"bionav_cut_grade_total", "counter"},
 	{"bionav_citation_cache_misses_total", "counter"},
@@ -135,6 +136,7 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_eutils_requests_total", "counter"},
 	{"bionav_expand_degraded_total", "counter"},
 	{"bionav_expand_timeouts_total", "counter"},
+	{"bionav_go_goroutines", "gauge"},
 	{"bionav_http_request_seconds", "histogram"},
 	{"bionav_http_requests_total", "counter"},
 	{"bionav_journal_append_errors_total", "counter"},
@@ -150,6 +152,7 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_pool_busy", "gauge"},
 	{"bionav_pool_queue_depth", "gauge"},
 	{"bionav_pool_workers", "gauge"},
+	{"bionav_process_start_time_seconds", "gauge"},
 	{"bionav_queue_depth", "gauge"},
 	{"bionav_recovered_sessions_total", "counter"},
 	{"bionav_recovery_errors_total", "counter"},

@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"bionav/internal/obs"
+)
+
+// Outcome classifies one request from the client's side. The mapping pins
+// the server's overload contract: a 503 only counts as shed when it
+// carries Retry-After — a bare 503 is a bug, not backpressure.
+type Outcome int
+
+const (
+	OutcomeOK       Outcome = iota // 2xx, full-quality response
+	OutcomeDegraded                // 2xx with "degraded": true
+	OutcomeShed                    // 503 + Retry-After (overload or drain)
+	OutcomeTimeout                 // client-side deadline expired
+	OutcomeError                   // anything else
+	numOutcomes
+)
+
+// String names the outcome as it appears in reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// Node is the client's view of one navigation-tree node — the subset of
+// the server's node rendering the user model steers by.
+type Node struct {
+	Node       int    `json:"node"`
+	Label      string `json:"label"`
+	Count      int    `json:"count"`
+	Expandable bool   `json:"expandable"`
+	Children   []Node `json:"children"`
+}
+
+// State is the client's view of a session state response.
+type State struct {
+	Session  string `json:"session"`
+	Results  int    `json:"results"`
+	Degraded bool   `json:"degraded"`
+	Tree     Node   `json:"tree"`
+}
+
+// Call is the measured result of one request.
+type Call struct {
+	Outcome Outcome
+	Latency time.Duration
+	Status  int    // HTTP status; 0 when the request never completed
+	State   *State // decoded body on OK/Degraded state responses
+	Err     error  // classification detail for Timeout/Error
+}
+
+// Client speaks the bionav-server JSON API and classifies every response.
+// Latency is measured around the full request–response cycle with the
+// injected clock. Safe for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	clock Clock
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client, clock Clock) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc, clock: clock}
+}
+
+// do issues one request and classifies the result. wantState controls
+// whether a 2xx body is decoded as a State.
+func (c *Client) do(ctx context.Context, method, path string, body any, wantState bool) Call {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return Call{Outcome: OutcomeError, Err: fmt.Errorf("loadgen: encode request: %w", err)}
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return Call{Outcome: OutcomeError, Err: fmt.Errorf("loadgen: build request: %w", err)}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := c.clock.Now()
+	resp, err := c.hc.Do(req)
+	lat := c.clock.Now().Sub(start)
+	if err != nil {
+		return Call{Outcome: classifyErr(ctx, err), Latency: lat, Err: err}
+	}
+	defer resp.Body.Close()
+	call := Call{Latency: lat, Status: resp.StatusCode}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		call.Outcome = OutcomeOK
+		if wantState {
+			st := &State{}
+			if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+				call.Outcome = OutcomeError
+				call.Err = fmt.Errorf("loadgen: decode state: %w", err)
+				return call
+			}
+			call.State = st
+			if st.Degraded {
+				call.Outcome = OutcomeDegraded
+			}
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+		call.Outcome = OutcomeShed
+		_, _ = io.Copy(io.Discard, resp.Body)
+	default:
+		call.Outcome = OutcomeError
+		call.Err = fmt.Errorf("loadgen: %s %s: %s", method, path, readError(resp.Body, resp.StatusCode))
+	}
+	return call
+}
+
+// classifyErr separates deadline expiry (an expected overload symptom the
+// harness accounts for) from transport failure.
+func classifyErr(ctx context.Context, err error) Outcome {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return OutcomeTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return OutcomeTimeout
+	}
+	return OutcomeError
+}
+
+// readError extracts the server's {"error": ...} message, falling back to
+// the status code.
+func readError(r io.Reader, status int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r, 4096)).Decode(&e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return "HTTP " + strconv.Itoa(status)
+}
+
+// Query opens a session with a keyword query.
+func (c *Client) Query(ctx context.Context, keywords string) Call {
+	return c.do(ctx, http.MethodPost, "/api/query", map[string]string{"keywords": keywords}, true)
+}
+
+// Expand performs EXPAND on node.
+func (c *Client) Expand(ctx context.Context, session string, node int) Call {
+	return c.do(ctx, http.MethodPost, "/api/expand", actionBody(session, node), true)
+}
+
+// Ignore dismisses a visible node.
+func (c *Client) Ignore(ctx context.Context, session string, node int) Call {
+	return c.do(ctx, http.MethodPost, "/api/ignore", actionBody(session, node), true)
+}
+
+// Backtrack undoes the last EXPAND.
+func (c *Client) Backtrack(ctx context.Context, session string) Call {
+	return c.do(ctx, http.MethodPost, "/api/backtrack", actionBody(session, 0), true)
+}
+
+// ShowResults lists a node's citations; the body is drained, not decoded.
+func (c *Client) ShowResults(ctx context.Context, session string, node int) Call {
+	q := url.Values{"session": {session}, "node": {strconv.Itoa(node)}}
+	return c.do(ctx, http.MethodGet, "/api/results?"+q.Encode(), nil, false)
+}
+
+// Scrape fetches and parses the Prometheus exposition at path (usually
+// "/metrics").
+func (c *Client) Scrape(ctx context.Context, path string) (*obs.MetricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: build scrape: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: HTTP %d", path, resp.StatusCode)
+	}
+	snap, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func actionBody(session string, node int) map[string]any {
+	return map[string]any{"session": session, "node": node}
+}

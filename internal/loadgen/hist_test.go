@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistIndexBounds(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within 1/32 relative error of it.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 123456789, 1 << 40, 1<<62 + 12345} {
+		i := histIndex(v)
+		up := histUpper(i)
+		if up < v {
+			t.Errorf("v=%d: bucket %d upper %d below the value", v, i, up)
+		}
+		if v >= 32 && float64(up-v) > float64(v)/32 {
+			t.Errorf("v=%d: bucket upper %d off by more than 1/32", v, up)
+		}
+		if i > 0 && histUpper(i-1) >= v {
+			t.Errorf("v=%d: previous bucket %d upper %d should be below the value", v, i-1, histUpper(i-1))
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &Hist{}
+	// 1..1000 microseconds: quantiles are predictable to 3.1%.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{1.0, 1000 * time.Microsecond},
+	} {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got-c.want) > float64(c.want)/16 {
+			t.Errorf("q=%v: got %v, want %v within 1/16", c.q, got, c.want)
+		}
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 499*time.Microsecond || m > 502*time.Microsecond {
+		t.Errorf("mean = %v, want ≈500µs", m)
+	}
+	if h.Quantile(0) != 0 || (&Hist{}).Quantile(0.5) != 0 {
+		t.Error("empty/zero-q quantile must be 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Quantile(0.25); got > 2*time.Millisecond {
+		t.Errorf("q25 = %v, want ≈1ms", got)
+	}
+	if got := a.Quantile(0.99); got < time.Second {
+		t.Errorf("q99 = %v, want >= 1s", got)
+	}
+	if a.Max() != time.Second {
+		t.Errorf("merged max = %v", a.Max())
+	}
+}
+
+// TestHistConcurrent proves the histogram loses no observations under
+// concurrent recording (and is exercised by -race).
+func TestHistConcurrent(t *testing.T) {
+	h := &Hist{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"bionav/internal/rng"
+)
+
+// user is one simulated TOPDOWN navigator (the paper's §VIII user model
+// as a client): open a keyword query, then alternate think time with a
+// mixed action script — mostly drilling down with EXPAND into heavy
+// components, occasionally listing results, dismissing a concept, or
+// backtracking. Every decision draws from the session's own rng stream,
+// and candidate actions are gated by the visible tree the server just
+// returned, so the user never issues a structurally invalid request — a
+// 422 therefore counts as a real error, not user noise.
+type user struct {
+	r   *Runner
+	src *rng.Source
+}
+
+func (r *Runner) newUser(src *rng.Source) *user { return &user{r: r, src: src} }
+
+// Action mix weights, normalized over the actions currently valid.
+const (
+	weightExpand      = 50
+	weightShowResults = 25
+	weightBacktrack   = 15
+	weightIgnore      = 10
+)
+
+type actionKind int
+
+const (
+	actNone actionKind = iota
+	actExpand
+	actShowResults
+	actIgnore
+	actBacktrack
+)
+
+// run plays the session script, recording every request into col and, when
+// trace is non-nil, appending one line per decision. It reports whether
+// the session aborted (shed, timeout, transport error, or cancellation)
+// rather than running its script to completion.
+func (u *user) run(ctx context.Context, col *collector, trace *[]string) bool {
+	kw := u.r.cfg.Queries[u.r.zipf.Next(u.src)]
+	note(trace, "query:"+kw)
+	call := u.r.client.Query(ctx, kw)
+	col.record(call)
+	if call.State == nil {
+		note(trace, "abort:"+call.Outcome.String())
+		return true
+	}
+	st := call.State
+	depth := 0 // EXPANDs minus BACKTRACKs: how much history is undoable
+	for i := 0; i < u.r.cfg.Actions; i++ {
+		think := time.Duration(u.src.ExpFloat64() * float64(u.r.cfg.Think))
+		if err := u.r.clock.Sleep(ctx, think); err != nil {
+			note(trace, "abort:cancelled")
+			return true
+		}
+		kind, node := u.choose(st, depth)
+		var c Call
+		switch kind {
+		case actExpand:
+			note(trace, "expand:"+strconv.Itoa(node))
+			c = u.r.client.Expand(ctx, st.Session, node)
+		case actShowResults:
+			note(trace, "showresults:"+strconv.Itoa(node))
+			c = u.r.client.ShowResults(ctx, st.Session, node)
+		case actIgnore:
+			note(trace, "ignore:"+strconv.Itoa(node))
+			c = u.r.client.Ignore(ctx, st.Session, node)
+		case actBacktrack:
+			note(trace, "backtrack")
+			c = u.r.client.Backtrack(ctx, st.Session)
+		default:
+			note(trace, "done:exhausted")
+			return false
+		}
+		col.record(c)
+		if c.Outcome != OutcomeOK && c.Outcome != OutcomeDegraded {
+			note(trace, "abort:"+c.Outcome.String())
+			return true
+		}
+		if c.State != nil {
+			// ShowResults returns a listing, not a state; keep steering by
+			// the last tree in that case.
+			st = c.State
+		}
+		switch kind {
+		case actExpand:
+			depth++
+		case actBacktrack:
+			depth--
+		}
+	}
+	note(trace, "done:actions")
+	return false
+}
+
+// choose picks the next action and its target from the visible tree.
+// Weights renormalize over the currently valid actions; actNone means the
+// navigation is exhausted (nothing expandable and nothing to undo).
+func (u *user) choose(st *State, depth int) (actionKind, int) {
+	visible := flatten(st.Tree)
+	var expandable []Node
+	for _, n := range visible {
+		if n.Expandable {
+			expandable = append(expandable, n)
+		}
+	}
+	type cand struct {
+		kind   actionKind
+		weight int
+	}
+	var cands []cand
+	if len(expandable) > 0 {
+		cands = append(cands, cand{actExpand, weightExpand})
+	}
+	if len(visible) > 0 {
+		cands = append(cands, cand{actShowResults, weightShowResults}, cand{actIgnore, weightIgnore})
+	}
+	if depth > 0 {
+		cands = append(cands, cand{actBacktrack, weightBacktrack})
+	}
+	if len(cands) == 0 {
+		return actNone, 0
+	}
+	total := 0
+	for _, c := range cands {
+		total += c.weight
+	}
+	pick := u.src.Intn(total)
+	kind := actNone
+	for _, c := range cands {
+		if pick < c.weight {
+			kind = c.kind
+			break
+		}
+		pick -= c.weight
+	}
+	switch kind {
+	case actExpand:
+		// TOPDOWN users chase the heavy components: weight by result count.
+		return actExpand, weightedByCount(u.src, expandable)
+	case actShowResults:
+		return actShowResults, weightedByCount(u.src, visible)
+	case actIgnore:
+		return actIgnore, visible[u.src.Intn(len(visible))].Node
+	default:
+		return kind, 0
+	}
+}
+
+// flatten lists the visible tree in depth-first order — deterministic,
+// since it follows the server's rendering order.
+func flatten(root Node) []Node {
+	out := []Node{root}
+	for _, c := range root.Children {
+		out = append(out, flatten(c)...)
+	}
+	return out
+}
+
+// weightedByCount picks a node with probability proportional to its
+// result count (plus one, so empty nodes stay reachable).
+func weightedByCount(src *rng.Source, nodes []Node) int {
+	total := 0
+	for _, n := range nodes {
+		total += n.Count + 1
+	}
+	pick := src.Intn(total)
+	for _, n := range nodes {
+		if pick < n.Count+1 {
+			return n.Node
+		}
+		pick -= n.Count + 1
+	}
+	return nodes[len(nodes)-1].Node
+}
+
+func note(trace *[]string, line string) {
+	if trace != nil {
+		*trace = append(*trace, line)
+	}
+}

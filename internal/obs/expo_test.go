@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrape renders the registry and parses it back — the round trip every
+// snapshot consumer depends on.
+func scrape(t *testing.T, r *Registry) *MetricsSnapshot {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse own exposition: %v\n%s", err, b.String())
+	}
+	return snap
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("t_req_total", "requests", "route", "code").With("/api/q", "200").Add(7)
+	r.CounterVec("t_req_total", "requests", "route", "code").With("/api/q", "503").Add(2)
+	r.Gauge("t_live", "live").Set(5)
+	r.GaugeVec("t_build_info", "build", "goversion", "policy").With("go1.x", "heuristic").Set(1)
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	snap := scrape(t, r)
+	if v, ok := snap.Value("t_req_total", map[string]string{"route": "/api/q", "code": "200"}); !ok || v != 7 {
+		t.Errorf("counter series = %v, %v", v, ok)
+	}
+	if got := snap.Total("t_req_total"); got != 9 {
+		t.Errorf("family total = %v, want 9", got)
+	}
+	if v, ok := snap.Value("t_live", nil); !ok || v != 5 {
+		t.Errorf("gauge = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("t_build_info", map[string]string{"goversion": "go1.x", "policy": "heuristic"}); !ok || v != 1 {
+		t.Errorf("build info = %v, %v", v, ok)
+	}
+	if got := snap.HistogramCount("t_lat_seconds"); got != 3 {
+		t.Errorf("histogram count = %v, want 3", got)
+	}
+	// +Inf bucket parses and quantiles clamp to the largest finite bound.
+	if got := snap.Quantile("t_lat_seconds", 0.99); got != 1 {
+		t.Errorf("p99 = %v, want 1 (clamped)", got)
+	}
+	if got := snap.Quantile("t_lat_seconds", 0.5); math.Abs(got-0.55) > 1e-9 {
+		// rank 1.5 of 3: 0.5 of the 1 in (0.1,1] → 0.1+0.9*0.5
+		t.Errorf("p50 = %v, want 0.55", got)
+	}
+	if got := snap.Quantile("t_absent", 0.5); !math.IsNaN(got) {
+		t.Errorf("absent histogram quantile = %v, want NaN", got)
+	}
+}
+
+func TestParseExpositionEscapesAndTimestamps(t *testing.T) {
+	in := `# HELP t_x things
+# TYPE t_x counter
+t_x{path="a\"b\\c\nd"} 3 1700000000000
+t_plain 4
+`
+	snap, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("t_x", map[string]string{"path": "a\"b\\c\nd"}); !ok || v != 3 {
+		t.Errorf("escaped series = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("t_plain", nil); !ok || v != 4 {
+		t.Errorf("plain = %v, %v", v, ok)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"t_x oops\n",
+		"t_x{unclosed=\"v\n",
+		"{} 4\n",
+		"t_x 1 2 3\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed exposition %q", in)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("t_total", "", "route")
+	c.With("/a").Add(10)
+	h := r.Histogram("t_lat", "", []float64{1, 2})
+	h.Observe(0.5)
+
+	before := scrape(t, r)
+
+	c.With("/a").Add(5)
+	c.With("/b").Add(3) // born between the scrapes
+	h.Observe(1.5)
+	h.Observe(1.5)
+
+	after := scrape(t, r)
+	d := after.Delta(before)
+
+	if v, _ := d.Value("t_total", map[string]string{"route": "/a"}); v != 5 {
+		t.Errorf("delta /a = %v, want 5", v)
+	}
+	if v, _ := d.Value("t_total", map[string]string{"route": "/b"}); v != 3 {
+		t.Errorf("delta /b (new series) = %v, want 3", v)
+	}
+	if got := d.HistogramCount("t_lat"); got != 2 {
+		t.Errorf("interval observations = %v, want 2", got)
+	}
+	// The interval distribution is the two 1.5s observations only: the
+	// pre-existing 0.5 cancels out of every bucket.
+	if got := d.Quantile("t_lat", 0.5); !(got > 1 && got <= 2) {
+		t.Errorf("interval median = %v, want in (1,2]", got)
+	}
+	// Delta against nil is the snapshot itself.
+	if v, _ := after.Delta(nil).Value("t_total", map[string]string{"route": "/a"}); v != 15 {
+		t.Errorf("delta vs nil = %v, want 15", v)
+	}
+}
+
+func TestSnapshotNamesAndSeries(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("t_total", "", "route").With("/a").Inc()
+	r.CounterVec("t_total", "", "route").With("/b").Inc()
+	snap := scrape(t, r)
+	if got := len(snap.Series("t_total")); got != 2 {
+		t.Errorf("series count = %d, want 2", got)
+	}
+	found := false
+	for _, n := range snap.Names() {
+		if n == "t_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v, missing t_total", snap.Names())
+	}
+}

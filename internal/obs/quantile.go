@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Bucket is one cumulative histogram bucket: Count observations fell at or
+// below Upper. A bucket slice is ascending in Upper and cumulative in
+// Count, with an explicit +Inf terminal bucket — exactly the shape of a
+// Prometheus histogram's `le` series and of Histogram.Buckets.
+type Bucket struct {
+	Upper float64 // upper bound; math.Inf(1) for the terminal bucket
+	Count float64 // cumulative count of observations <= Upper
+}
+
+// Buckets snapshots the histogram's cumulative bucket counts, terminal
+// +Inf bucket included. The snapshot is not atomic with respect to
+// concurrent Observe calls, but every bucket count it reports was true at
+// some instant during the call.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.upper)+1)
+	cum := uint64(0)
+	for i, b := range h.upper {
+		cum += h.counts[i].Load()
+		out[i] = Bucket{Upper: b, Count: float64(cum)}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	out[len(h.upper)] = Bucket{Upper: math.Inf(1), Count: float64(cum)}
+	return out
+}
+
+// MergedBuckets sums the cumulative bucket counts of every series in the
+// family — the all-labels aggregate a single latency quantile is computed
+// from. All series of a family share one bucket layout, so the merge is
+// positionwise. An empty family yields the layout with zero counts.
+func (v *HistogramVec) MergedBuckets() []Bucket {
+	v.f.mu.Lock()
+	series := make([]*Histogram, 0, len(v.f.series))
+	for _, s := range v.f.series {
+		series = append(series, s.(*Histogram))
+	}
+	v.f.mu.Unlock()
+
+	out := make([]Bucket, len(v.f.buckets)+1)
+	for i, b := range v.f.buckets {
+		out[i] = Bucket{Upper: b}
+	}
+	out[len(v.f.buckets)] = Bucket{Upper: math.Inf(1)}
+	for _, h := range series {
+		for i, b := range h.Buckets() {
+			out[i].Count += b.Count
+		}
+	}
+	return out
+}
+
+// BucketQuantile estimates the q-quantile of a bucketed distribution,
+// interpolating linearly within the bucket that holds the quantile rank
+// (the histogram_quantile estimator). Semantics at the edges:
+//
+//   - empty input or zero total count → NaN (there is no distribution);
+//   - q < 0 → -Inf, q > 1 → +Inf;
+//   - rank lands in the +Inf bucket → the largest finite upper bound (the
+//     estimate cannot exceed what the layout can resolve), or +Inf when
+//     the layout has no finite bucket at all;
+//   - the first bucket interpolates from 0, so estimates are
+//     non-negative — the right convention for latencies and sizes.
+//
+// The buckets must be ascending in Upper and cumulative in Count; the
+// final bucket's Count is the total observation count.
+func BucketQuantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		return math.Inf(-1)
+	}
+	if q > 1 {
+		return math.Inf(1)
+	}
+	rank := q * total
+	idx := sort.Search(len(buckets), func(i int) bool { return buckets[i].Count >= rank })
+	if idx == len(buckets) {
+		idx-- // q == 1 with trailing equal counts
+	}
+	if math.IsInf(buckets[idx].Upper, 1) {
+		// Walk back to the largest finite bound; observations beyond it are
+		// unresolvable by this layout.
+		for i := idx - 1; i >= 0; i-- {
+			if !math.IsInf(buckets[i].Upper, 1) {
+				return buckets[i].Upper
+			}
+		}
+		return math.Inf(1)
+	}
+	lower, below := 0.0, 0.0
+	if idx > 0 {
+		lower, below = buckets[idx-1].Upper, buckets[idx-1].Count
+	}
+	inBucket := buckets[idx].Count - below
+	if inBucket <= 0 {
+		return buckets[idx].Upper
+	}
+	return lower + (buckets[idx].Upper-lower)*(rank-below)/inBucket
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// cumulative builds a Bucket slice from bounds and per-bucket counts
+// (the last count is the +Inf bucket's).
+func cumulative(bounds []float64, counts []float64) []Bucket {
+	out := make([]Bucket, len(bounds)+1)
+	cum := 0.0
+	for i, b := range bounds {
+		cum += counts[i]
+		out[i] = Bucket{Upper: b, Count: cum}
+	}
+	out[len(bounds)] = Bucket{Upper: math.Inf(1), Count: cum + counts[len(bounds)]}
+	return out
+}
+
+func TestBucketQuantileGolden(t *testing.T) {
+	// 100 observations: 10 in (0,1], 40 in (1,2], 40 in (2,4], 10 in (4,8].
+	b := cumulative([]float64{1, 2, 4, 8}, []float64{10, 40, 40, 10, 0})
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.05, 0.5},  // rank 5 of 10 in (0,1], interpolated from 0
+		{0.10, 1.0},  // exactly the first boundary
+		{0.50, 2.0},  // rank 50 = top of the second bucket
+		{0.75, 3.25}, // rank 75: 25 of 40 into (2,4]
+		{0.90, 4.0},  // boundary again
+		{0.95, 6.0},  // rank 95: 5 of 10 into (4,8]
+		{1.00, 8.0},  // full rank = last finite bound
+		{-0.1, math.Inf(-1)},
+		{1.5, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := BucketQuantile(c.q, b)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantileInfBucket(t *testing.T) {
+	// Half the mass beyond the largest finite bound: high quantiles clamp
+	// to that bound rather than inventing a value the layout can't see.
+	b := cumulative([]float64{1, 2}, []float64{5, 5, 10})
+	if got := BucketQuantile(0.99, b); got != 2 {
+		t.Errorf("q=0.99 in +Inf bucket: got %v, want 2 (largest finite bound)", got)
+	}
+	if got := BucketQuantile(0.25, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("q=0.25: got %v, want 1", got)
+	}
+
+	// Degenerate layout: only a +Inf bucket.
+	onlyInf := []Bucket{{Upper: math.Inf(1), Count: 7}}
+	if got := BucketQuantile(0.5, onlyInf); !math.IsInf(got, 1) {
+		t.Errorf("only-Inf layout: got %v, want +Inf", got)
+	}
+}
+
+func TestBucketQuantileEmpty(t *testing.T) {
+	if got := BucketQuantile(0.5, nil); !math.IsNaN(got) {
+		t.Errorf("nil buckets: got %v, want NaN", got)
+	}
+	empty := cumulative([]float64{1, 2}, []float64{0, 0, 0})
+	if got := BucketQuantile(0.5, empty); !math.IsNaN(got) {
+		t.Errorf("zero-count buckets: got %v, want NaN", got)
+	}
+	if got := BucketQuantile(math.NaN(), cumulative([]float64{1}, []float64{1, 0})); !math.IsNaN(got) {
+		t.Errorf("NaN quantile: got %v, want NaN", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	want := []Bucket{{0.1, 1}, {1, 3}, {10, 4}, {math.Inf(1), 5}}
+	if len(b) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b[i], want[i])
+		}
+	}
+	// rank 2.5 of 5: 1.5 of the 2 in (0.1,1] → 0.1 + 0.9*0.75 = 0.775
+	if got := BucketQuantile(0.5, b); math.Abs(got-0.775) > 1e-9 {
+		t.Errorf("median = %v, want 0.775", got)
+	}
+}
+
+func TestHistogramVecMergedBuckets(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("t_routes", "", []float64{1, 2}, "route")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(1.5)
+	v.With("/b").Observe(1.5)
+	v.With("/b").Observe(99)
+	b := v.MergedBuckets()
+	want := []Bucket{{1, 1}, {2, 3}, {math.Inf(1), 4}}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("merged bucket %d = %+v, want %+v", i, b[i], want[i])
+		}
+	}
+	// An empty family still reports its layout, and quantiles over it are
+	// NaN rather than garbage.
+	emptyVec := r.HistogramVec("t_empty", "", []float64{1, 2}, "route")
+	eb := emptyVec.MergedBuckets()
+	if len(eb) != 3 || eb[2].Count != 0 {
+		t.Fatalf("empty family buckets = %+v", eb)
+	}
+	if got := BucketQuantile(0.99, eb); !math.IsNaN(got) {
+		t.Errorf("quantile of empty family = %v, want NaN", got)
+	}
+}

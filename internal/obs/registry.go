@@ -183,6 +183,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.with(nil, func() any { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.with(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers (or returns) a labeled gauge family — e.g. the
+// build-info idiom: a constant-1 gauge whose labels carry the metadata.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
 // GaugeFunc registers a gauge whose value is computed at scrape time.
 // Re-registering replaces the callback (the newest instance wins).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {

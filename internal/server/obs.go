@@ -2,9 +2,16 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"time"
 
 	"bionav/internal/obs"
 )
+
+// processStart pins the process birth time for
+// bionav_process_start_time_seconds — the standard counter-reset anchor:
+// rate() consumers use it to distinguish a restart from a quiet interval.
+var processStart = time.Now()
 
 // serverMetrics holds the per-Server instrument handles. They live on the
 // Server's own registry — not obs.Default — so every Server instance
@@ -60,6 +67,24 @@ func newServerMetrics(s *Server) *serverMetrics {
 			}
 			return float64(len(s.sem))
 		})
+	// Build-info idiom: a constant-1 gauge whose labels carry the metadata,
+	// so dashboards can join runtime and configuration onto any series.
+	journaled := "off"
+	if s.cfg.Journal != nil {
+		journaled = "on"
+	}
+	r.GaugeVec("bionav_build_info",
+		"Constant 1; labels carry the Go runtime version and server configuration.",
+		"goversion", "policy", "journal").
+		With(runtime.Version(), s.cfg.Policy, journaled).Set(1)
+	r.GaugeFunc("bionav_go_goroutines",
+		"Goroutines currently live in the process.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	r.GaugeFunc("bionav_process_start_time_seconds",
+		"Unix time the process started, in seconds.", func() float64 {
+			return float64(processStart.UnixNano()) / 1e9
+		})
 	return m
 }
 
@@ -78,6 +103,7 @@ var knownRoutes = map[string]bool{
 	"/api/expand":    true,
 	"/api/expandall": true,
 	"/api/backtrack": true,
+	"/api/ignore":    true,
 	"/api/results":   true,
 	"/api/export":    true,
 	"/api/import":    true,

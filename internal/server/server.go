@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -239,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /api/expand", s.handleExpand)
 	api.HandleFunc("POST /api/expandall", s.handleExpandAll)
 	api.HandleFunc("POST /api/backtrack", s.handleBacktrack)
+	api.HandleFunc("POST /api/ignore", s.handleIgnore)
 	api.HandleFunc("GET /api/results", s.handleResults)
 	api.HandleFunc("GET /api/export", s.handleExport)
 	api.HandleFunc("POST /api/import", s.handleImport)
@@ -528,6 +530,33 @@ func (s *Server) handleBacktrack(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleIgnore records an IGNORE — the user dismissing a visible concept.
+// The action mutates only the session log (the visible tree is unchanged),
+// but it is journaled like any other mutation so a recovered session's
+// history matches what the user did.
+func (s *Server) handleIgnore(w http.ResponseWriter, r *http.Request) {
+	var req actionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sess, err := s.lookup(req.Session)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	sess.mu.Lock()
+	if err := sess.nav.Ignore(req.Node); err != nil {
+		sess.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.journalActionsLocked(req.Session, sess)
+	resp := s.stateLocked(req.Session, sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookup(r.URL.Query().Get("session"))
 	if err != nil {
@@ -640,6 +669,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"expandTimeouts":  s.met.timeouts.Value(),
 		"sessionsEvicted": s.met.evicted.Value(),
 	}
+	// Request-latency quantiles, estimated from the same histogram /metrics
+	// exposes (bionav_http_request_seconds, all routes merged) — a JSON
+	// read-through for dashboards that do not run a Prometheus.
+	lat := s.met.latency.MergedBuckets()
+	stats["latencyP50Ms"] = quantileMs(lat, 0.50)
+	stats["latencyP95Ms"] = quantileMs(lat, 0.95)
+	stats["latencyP99Ms"] = quantileMs(lat, 0.99)
 	stats["recoveredSessions"] = s.met.recovered.Value()
 	stats["recoveryErrors"] = s.met.recoveryErrors.Value()
 	if s.cfg.Journal != nil {
@@ -775,6 +811,17 @@ func (s *Server) buildView(nav *navtree.Tree, vis map[navtree.NodeID]*core.Visib
 		out.Children = append(out.Children, s.buildView(nav, vis, c))
 	}
 	return out
+}
+
+// quantileMs renders a bucket-quantile estimate in milliseconds. NaN (no
+// observations yet) and ±Inf collapse to 0: they are not representable in
+// JSON and would make the whole stats encode fail.
+func quantileMs(buckets []obs.Bucket, q float64) float64 {
+	v := obs.BucketQuantile(q, buckets)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v * 1000
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

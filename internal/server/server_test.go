@@ -561,3 +561,87 @@ func BenchmarkQueryNavCache(b *testing.B) {
 	b.Run("hit", func(b *testing.B) { run(b, Config{}) })
 	b.Run("miss", func(b *testing.B) { run(b, Config{NavCacheSize: -1}) })
 }
+
+// TestIgnoreAction pins the IGNORE endpoint: dismissing a visible node
+// succeeds and returns the (unchanged) state, while hidden nodes and dead
+// sessions get the usual 422/404 contract.
+func TestIgnoreAction(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw["error"])
+	}
+	var state struct {
+		Session string `json:"session"`
+		Tree    struct {
+			Node int `json:"node"`
+		} `json:"tree"`
+	}
+	reencode(t, raw, &state)
+
+	resp, raw = postJSON(t, ts.URL+"/api/ignore", map[string]any{"session": state.Session, "node": state.Tree.Node})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ignore status %d: %s", resp.StatusCode, raw["error"])
+	}
+	if _, ok := raw["tree"]; !ok {
+		t.Fatalf("ignore response carries no state: %v", raw)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/api/ignore", map[string]any{"session": state.Session, "node": -5})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ignore of unknown node: status %d, want 422", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/api/ignore", map[string]any{"session": "nope", "node": 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ignore on dead session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsLatencyQuantiles checks /api/stats reports request-latency
+// quantiles estimated from the same histogram /metrics exposes, and that
+// the NaN guard keeps an idle server's stats encodable.
+func TestStatsLatencyQuantiles(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+
+	// Idle server: no observations yet, quantiles must be 0, not NaN.
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("idle stats must encode cleanly: %v", err)
+	}
+	// The stats request itself may already have been observed; only its
+	// presence and type are pinned here.
+	for _, k := range []string{"latencyP50Ms", "latencyP95Ms", "latencyP99Ms"} {
+		if _, ok := stats[k].(float64); !ok {
+			t.Fatalf("stats[%s] = %v (%T), want float64", k, stats[k], stats[k])
+		}
+	}
+
+	// Drive some traffic, then the quantiles must be positive and ordered.
+	for i := 0; i < 5; i++ {
+		r, _ := postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": queryTerm(srv)})
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", r.StatusCode)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = map[string]any{}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := stats["latencyP50Ms"].(float64)
+	p99 := stats["latencyP99Ms"].(float64)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("latency quantiles p50=%v p99=%v, want 0 < p50 <= p99", p50, p99)
+	}
+}

@@ -81,6 +81,24 @@ func DefaultConfig() Config {
 	return Config{Seed: 2009, HierarchyNodes: 48000, Background: 3000, Specs: TableI()}
 }
 
+// SmallConfig shrinks the workload for fast tests and smoke-scale load
+// runs while keeping every Table I query: result sizes are quartered
+// (floors keep each target plantable) and annotation density is reduced.
+func SmallConfig() Config {
+	specs := TableI()
+	for i := range specs {
+		specs[i].ResultSize = (specs[i].ResultSize + 3) / 4
+		if specs[i].TargetL > specs[i].ResultSize {
+			specs[i].TargetL = specs[i].ResultSize / 2
+		}
+		if specs[i].TargetL < 2 {
+			specs[i].TargetL = 2
+		}
+		specs[i].MeanConcepts = 30
+	}
+	return Config{Seed: 2009, HierarchyNodes: 6000, Background: 200, Specs: specs}
+}
+
 // Generate synthesizes the workload. The same Config always produces the
 // identical workload.
 func Generate(cfg Config) (*Workload, error) {

@@ -6,26 +6,9 @@ import (
 	"bionav/internal/hierarchy"
 )
 
-// smallConfig shrinks the workload for fast tests while keeping every
-// Table I query.
-func smallConfig() Config {
-	specs := TableI()
-	for i := range specs {
-		specs[i].ResultSize = (specs[i].ResultSize + 3) / 4
-		if specs[i].TargetL > specs[i].ResultSize {
-			specs[i].TargetL = specs[i].ResultSize / 2
-		}
-		if specs[i].TargetL < 2 {
-			specs[i].TargetL = 2
-		}
-		specs[i].MeanConcepts = 30
-	}
-	return Config{Seed: 2009, HierarchyNodes: 6000, Background: 200, Specs: specs}
-}
-
 func genSmall(t *testing.T) *Workload {
 	t.Helper()
-	w, err := Generate(smallConfig())
+	w, err := Generate(SmallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +163,7 @@ func TestGenerateRejectsBadConfig(t *testing.T) {
 	if _, err := Generate(Config{Seed: 1, HierarchyNodes: 1000, Specs: nil}); err == nil {
 		t.Fatal("empty specs accepted")
 	}
-	bad := smallConfig()
+	bad := SmallConfig()
 	bad.Specs[0].TargetL = bad.Specs[0].ResultSize + 1
 	if _, err := Generate(bad); err == nil {
 		t.Fatal("TargetL > ResultSize accepted")
