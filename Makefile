@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint lint-fix-audit checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test load-test load-bench experiments demo clean
+.PHONY: all check build test race vet fmt lint lint-fix-audit checks-test fuzz-smoke bench bench-json bench-check anytime-test faults-test chaos-test metrics-test parallel-test ingest-test load-test load-bench experiments demo clean
 
 all: fmt vet lint test build
 
@@ -83,6 +83,16 @@ metrics-test:
 parallel-test:
 	GOMAXPROCS=4 $(GO) test -race -run 'SolveComponents|PoolLifecycle|ExpandBatch|FaultBatch|BuildParallel|GetOrBuild|ExpandAllParallel|ConcurrentExpand|SessionExpired|TTL' ./internal/core ./internal/navtree ./internal/navigate ./internal/server
 
+# Live-corpus gate: the incremental-ingest layer raced end to end —
+# copy-on-write snapshot/index/corpus deltas, ingest-log durability and
+# replay, codec strict-ascent validation, torn-tail accounting,
+# last-wins upserts, epoch-keyed nav-cache invalidation, the pinned
+# mid-session acceptance contract, and recovery epoch misses
+# (DESIGN.md §12, docs/RESILIENCE.md §5).
+ingest-test:
+	$(GO) test -race -run 'Ingest|Snapshot|Epoch|CitationCodec|CitationReader|LastWin|TornTail|Delta|Apply' \
+		./internal/store ./internal/index ./internal/corpus ./internal/navtree ./internal/server
+
 # Load-harness gate: the fixed-seed open-loop smoke (nonzero successes,
 # zero unexpected failures against an in-process server), the session
 # trace determinism proof, the sweep's client/server cross-check, and the
@@ -108,6 +118,7 @@ bench-json:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./internal/core . > BENCH_core.json
 	$(GO) test -json -bench='BenchmarkSessionReplay' -run='^$$' ./internal/navigate >> BENCH_core.json
 	GOMAXPROCS=4 $(GO) test -json -bench='BenchmarkSolveComponents' -run='^$$' ./internal/core >> BENCH_core.json
+	$(GO) test -json -bench='BenchmarkIngest|BenchmarkCitationReaderGet' -run='^$$' ./internal/store >> BENCH_core.json
 	$(GO) run ./cmd/bionav-benchcheck BENCH_core.json
 
 # JSONL guard for recorded benchmark baselines: every line of every

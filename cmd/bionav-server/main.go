@@ -24,6 +24,7 @@ import (
 	"bionav/internal/journal"
 	"bionav/internal/obs"
 	"bionav/internal/server"
+	"bionav/internal/store"
 )
 
 func main() {
@@ -71,6 +72,11 @@ func main() {
 		if serr := srv.Shutdown(ctx); serr != nil && err == nil {
 			err = serr
 		}
+		// The ingest log closes after the drain: no ingest can be in
+		// flight once the API has stopped accepting requests.
+		if cerr := app.live.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		done <- err
 	}()
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -89,6 +95,7 @@ func main() {
 type app struct {
 	handler      http.Handler
 	srv          *server.Server
+	live         *store.Live
 	addr         string
 	debugAddr    string
 	debugHandler http.Handler
@@ -126,19 +133,22 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		return nil, err
 	}
 
-	var ds *bionav.Dataset
+	// A -db directory opens as a live corpus: its ingest log is replayed to
+	// the epoch it last served and /api/admin/ingest batches persist there.
+	// The demo dataset is memory-only — ingest works but nothing survives.
+	var live *store.Live
 	switch {
 	case *demo && *dbDir != "":
 		return nil, fmt.Errorf("-demo and -db are mutually exclusive")
 	case *demo:
 		fmt.Fprintln(stdout, "generating demo dataset…")
-		ds = bionav.GenerateDemo(bionav.DemoConfig{})
+		live = store.NewLive(bionav.GenerateDemo(bionav.DemoConfig{}))
 	case *dbDir != "":
-		engine, err := bionav.Open(*dbDir)
+		var err error
+		live, err = store.OpenLive(*dbDir)
 		if err != nil {
 			return nil, err
 		}
-		ds = engine.Dataset()
 	default:
 		return nil, fmt.Errorf("pass -db <dir> or -demo")
 	}
@@ -158,7 +168,7 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		}
 	}
 
-	srv := server.New(ds, server.Config{
+	srv := server.NewLive(live, server.Config{
 		MaxSessions:  *maxSess,
 		SessionTTL:   *sessTTL,
 		Policy:       *policy,
@@ -180,11 +190,13 @@ func build(args []string, stdout io.Writer, logger *slog.Logger) (*app, error) {
 		logger.Info("journal recovery done", "dir", *journalDir, "sessions", n, "fsync", *fsyncMode)
 	}
 	srv.Warmup()
-	fmt.Fprintf(stdout, "serving %d concepts / %d citations on %s (%d solve workers)\n",
-		ds.Tree.Len(), ds.Corpus.Len(), *addr, srv.Workers())
+	sn := live.Current()
+	fmt.Fprintf(stdout, "serving %d concepts / %d citations (epoch %d) on %s (%d solve workers)\n",
+		sn.Tree.Len(), sn.Corpus.Len(), sn.Epoch, *addr, srv.Workers())
 	return &app{
 		handler:      srv.Handler(),
 		srv:          srv,
+		live:         live,
 		addr:         *addr,
 		debugAddr:    *debugAddr,
 		debugHandler: obs.DebugMux(srv.Registry(), obs.Default),

@@ -126,6 +126,7 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_citation_cache_hits_total", "counter"},
 	{"bionav_cut_grade_total", "counter"},
 	{"bionav_citation_cache_misses_total", "counter"},
+	{"bionav_dataset_epoch", "gauge"},
 	{"bionav_dp_aborts_total", "counter"},
 	{"bionav_dp_fold_steps_total", "counter"},
 	{"bionav_dp_memo_hits_total", "counter"},
@@ -139,6 +140,9 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_go_goroutines", "gauge"},
 	{"bionav_http_request_seconds", "histogram"},
 	{"bionav_http_requests_total", "counter"},
+	{"bionav_ingest_batches_total", "counter"},
+	{"bionav_ingest_citations_total", "counter"},
+	{"bionav_ingest_seconds", "histogram"},
 	{"bionav_journal_append_errors_total", "counter"},
 	{"bionav_journal_appends_total", "counter"},
 	{"bionav_journal_bytes_total", "counter"},
@@ -155,6 +159,7 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_process_start_time_seconds", "gauge"},
 	{"bionav_queue_depth", "gauge"},
 	{"bionav_recovered_sessions_total", "counter"},
+	{"bionav_recovery_epoch_misses_total", "counter"},
 	{"bionav_recovery_errors_total", "counter"},
 	{"bionav_requests_shed_total", "counter"},
 	{"bionav_sessions_evicted_total", "counter"},
@@ -165,6 +170,7 @@ var metricCatalog = []struct{ name, kind string }{
 	{"bionav_solver_cache_misses_total", "counter"},
 	{"bionav_store_load_seconds", "histogram"},
 	{"bionav_store_loads_total", "counter"},
+	{"bionav_store_torn_tails_total", "counter"},
 	{"bionav_traces_sampled_total", "counter"},
 }
 

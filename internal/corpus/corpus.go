@@ -72,6 +72,58 @@ func New(tree *hierarchy.Tree, citations []Citation, globalCount []int64) (*Corp
 	return c, nil
 }
 
+// Apply returns a new Corpus with batch applied copy-on-write: the
+// receiver is never modified and stays valid for concurrent readers. A
+// batch citation whose ID already exists replaces the old record in place
+// (upsert, last wins — also within the batch); fresh IDs append in batch
+// order. Per-concept global counts carry over with incremental deltas: a
+// new annotation of concept c bumps cnt(c) by one — the corpus is the
+// MEDLINE stand-in, so a citation arriving for c is also a MEDLINE-wide
+// citation for c — while an upsert that drops an annotation never
+// decrements (global counts are cumulative), keeping the
+// selectivity invariant cnt(c) >= |res(c)| intact. The header structures
+// (citation slice, ID map, count slice) are copied; the hierarchy is
+// shared.
+func (c *Corpus) Apply(batch []Citation) (*Corpus, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("corpus: empty batch")
+	}
+	cits := make([]Citation, len(c.citations), len(c.citations)+len(batch))
+	copy(cits, c.citations)
+	byID := make(map[CitationID]int, len(c.byID)+len(batch))
+	for id, i := range c.byID {
+		byID[id] = i
+	}
+	counts := append([]int64(nil), c.globalCount...)
+	for i := range batch {
+		cit := batch[i]
+		for _, cid := range cit.Concepts {
+			if cid <= 0 || int(cid) >= c.tree.Len() {
+				return nil, fmt.Errorf("corpus: citation %d annotated with unknown concept %d", cit.ID, cid)
+			}
+		}
+		if j, ok := byID[cit.ID]; ok {
+			had := make(map[hierarchy.ConceptID]bool, len(cits[j].Concepts))
+			for _, cid := range cits[j].Concepts {
+				had[cid] = true
+			}
+			for _, cid := range cit.Concepts {
+				if !had[cid] {
+					counts[cid]++
+				}
+			}
+			cits[j] = cit
+			continue
+		}
+		byID[cit.ID] = len(cits)
+		cits = append(cits, cit)
+		for _, cid := range cit.Concepts {
+			counts[cid]++
+		}
+	}
+	return &Corpus{tree: c.tree, citations: cits, byID: byID, globalCount: counts}, nil
+}
+
 // Tree returns the concept hierarchy the corpus is annotated against.
 func (c *Corpus) Tree() *hierarchy.Tree { return c.tree }
 

@@ -55,14 +55,15 @@ func NewRunnerFor(w *workload.Workload) *Runner {
 // nav returns the (cached) navigation tree and target node for a query.
 func (r *Runner) nav(q *workload.Query) (*navtree.Tree, navtree.NodeID, error) {
 	kw := navtree.NormalizeQuery(q.Spec.Keyword)
-	if t, ok := r.navs.Get(kw); ok {
+	key := navtree.Key{Query: kw} // static dataset: epoch 0 throughout
+	if t, ok := r.navs.Get(key); ok {
 		return t, r.targets[kw], nil
 	}
 	t, target, err := r.W.NavTree(q)
 	if err != nil {
 		return nil, 0, err
 	}
-	r.navs.Add(kw, t)
+	r.navs.Add(key, t)
 	r.targets[kw] = target
 	return t, target, nil
 }

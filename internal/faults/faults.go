@@ -51,6 +51,10 @@ const (
 	// recovery; an error action makes that session's recovery fail — it
 	// is logged and counted, never fatal to startup.
 	SiteJournalRecover = "server/journal.recover"
+	// SiteStoreIngest fires at the head of store.Live.Ingest, before any
+	// work; an error action makes the ingest fail cleanly — nothing is
+	// appended to the log and no snapshot is published.
+	SiteStoreIngest = "store/ingest"
 )
 
 // ErrInjected is the default error returned by armed sites with no

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"testing"
+
+	"bionav/internal/corpus"
+)
+
+// TestApplyFreshAndUpsert pins the incremental-update contract: Apply
+// returns a new index with fresh documents inserted and an upserted
+// document's stale postings retracted, while the receiver stays exactly
+// as built — the copy-on-write property live ingestion relies on.
+func TestApplyFreshAndUpsert(t *testing.T) {
+	ix := BuildFromDocs(docs())
+	next := ix.Apply([]Delta{
+		{ID: 9, New: []string{"cancer", "brandnew"}},                                              // fresh doc
+		{ID: 2, Old: []string{"prothymosin", "apoptosis"}, New: []string{"apoptosis", "histone"}}, // upsert
+	})
+
+	if got := next.Search("brandnew"); !equalIDs(got, []corpus.CitationID{9}) {
+		t.Fatalf("fresh term postings = %v", got)
+	}
+	if got := next.Search("cancer"); !equalIDs(got, []corpus.CitationID{1, 3, 5, 9}) {
+		t.Fatalf("cancer postings = %v", got)
+	}
+	// Doc 2 moved off prothymosin and onto histone.
+	if got := next.Search("prothymosin"); !equalIDs(got, []corpus.CitationID{1, 5}) {
+		t.Fatalf("stale posting survived the upsert: %v", got)
+	}
+	if got := next.Search("histone"); !equalIDs(got, []corpus.CitationID{2, 3, 4}) {
+		t.Fatalf("histone postings = %v", got)
+	}
+	if next.Docs() != ix.Docs()+1 {
+		t.Fatalf("Docs = %d, want %d (upserts do not recount)", next.Docs(), ix.Docs()+1)
+	}
+
+	// The receiver is untouched.
+	if got := ix.Search("brandnew"); got != nil {
+		t.Fatalf("receiver gained a term: %v", got)
+	}
+	if got := ix.Search("prothymosin"); !equalIDs(got, []corpus.CitationID{1, 2, 5}) {
+		t.Fatalf("receiver postings changed: %v", got)
+	}
+}
+
+// TestApplyDropsEmptiedTerm: retracting a term's last posting removes the
+// term entirely, so the next index's term count does not accumulate
+// tombstones across upserts.
+func TestApplyDropsEmptiedTerm(t *testing.T) {
+	ix := BuildFromDocs(map[corpus.CitationID][]string{
+		1: {"solo", "shared"},
+		2: {"shared"},
+	})
+	next := ix.Apply([]Delta{{ID: 1, Old: []string{"solo", "shared"}, New: []string{"shared"}}})
+	if next.Terms() != 1 {
+		t.Fatalf("Terms = %d, want 1 (emptied term must be deleted)", next.Terms())
+	}
+	if got := next.Search("solo"); got != nil {
+		t.Fatalf("emptied term still matches: %v", got)
+	}
+	if ix.Terms() != 2 {
+		t.Fatalf("receiver Terms = %d, want 2", ix.Terms())
+	}
+}
+
+// TestApplyMatchesRebuild: for any delta sequence, the incremental index
+// must equal a from-scratch build over the resulting document set.
+func TestApplyMatchesRebuild(t *testing.T) {
+	d := docs()
+	ix := BuildFromDocs(d)
+	deltas := []Delta{
+		{ID: 6, New: []string{"alpha", "chromatin"}},
+		{ID: 3, Old: d[3], New: []string{"cancer"}},
+		{ID: 7, New: []string{"prothymosin"}},
+	}
+	next := ix.Apply(deltas)
+
+	d[6] = []string{"alpha", "chromatin"}
+	d[3] = []string{"cancer"}
+	d[7] = []string{"prothymosin"}
+	want := BuildFromDocs(d)
+
+	if next.Docs() != want.Docs() || next.Terms() != want.Terms() {
+		t.Fatalf("incremental %d docs/%d terms, rebuild %d/%d",
+			next.Docs(), next.Terms(), want.Docs(), want.Terms())
+	}
+	for _, term := range []string{"prothymosin", "alpha", "cancer", "apoptosis", "histone", "chromatin"} {
+		if got, exp := next.Postings(term), want.Postings(term); !equalIDs(got, exp) {
+			t.Fatalf("postings[%s] = %v, rebuild has %v", term, got, exp)
+		}
+	}
+}

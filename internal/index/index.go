@@ -70,6 +70,84 @@ func dedupeSorted(list []corpus.CitationID) []corpus.CitationID {
 	return out
 }
 
+// Delta describes one document's term change for an incremental update.
+// Old nil means the document is new to the index; for an upserted document
+// it holds the terms previously indexed under ID, so stale postings are
+// removed.
+type Delta struct {
+	ID  corpus.CitationID
+	Old []string // previously indexed terms; nil for a fresh document
+	New []string
+}
+
+// Apply returns a new Index with the deltas applied copy-on-write: the
+// postings map is fresh, but every untouched term shares its postings
+// slice with the receiver, so the receiver stays valid, immutable, and
+// safe for concurrent readers while the new version is built. Cost is
+// O(terms) pointer copies plus O(postings) only for the touched terms —
+// the incremental path that makes ingestion cheaper than a rebuild.
+func (ix *Index) Apply(deltas []Delta) *Index {
+	out := &Index{postings: make(map[string][]corpus.CitationID, len(ix.postings)), docs: ix.docs}
+	for t, l := range ix.postings {
+		out.postings[t] = l
+	}
+	for _, d := range deltas {
+		if d.Old == nil {
+			out.docs++
+		}
+		oldSet := make(map[string]bool, len(d.Old))
+		for _, t := range d.Old {
+			oldSet[t] = true
+		}
+		newSet := make(map[string]bool, len(d.New))
+		for _, t := range d.New {
+			newSet[t] = true
+		}
+		for t := range oldSet {
+			if newSet[t] {
+				continue
+			}
+			if l := removeID(out.postings[t], d.ID); len(l) == 0 {
+				delete(out.postings, t)
+			} else {
+				out.postings[t] = l
+			}
+		}
+		for t := range newSet {
+			if oldSet[t] {
+				continue
+			}
+			out.postings[t] = insertID(out.postings[t], d.ID)
+		}
+	}
+	return out
+}
+
+// insertID returns a sorted duplicate-free copy of list with id added; the
+// input slice is never modified (it may be shared with an older Index).
+func insertID(list []corpus.CitationID, id corpus.CitationID) []corpus.CitationID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	out := make([]corpus.CitationID, 0, len(list)+1)
+	out = append(out, list[:i]...)
+	out = append(out, id)
+	return append(out, list[i:]...)
+}
+
+// removeID returns a copy of list without id, or the original slice when
+// id is absent.
+func removeID(list []corpus.CitationID, id corpus.CitationID) []corpus.CitationID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i >= len(list) || list[i] != id {
+		return list
+	}
+	out := make([]corpus.CitationID, 0, len(list)-1)
+	out = append(out, list[:i]...)
+	return append(out, list[i+1:]...)
+}
+
 // Docs reports the number of indexed documents.
 func (ix *Index) Docs() int { return ix.docs }
 
@@ -264,7 +342,10 @@ func Decode(r io.Reader) (*Index, error) {
 				return nil, fmt.Errorf("index: term %q: bad delta %q", term, f)
 			}
 			id := prev + corpus.CitationID(d)
-			if len(list) > 0 && id <= prev {
+			// prev starts at 0, so this also rejects a non-positive first
+			// ID: a negative first delta would otherwise smuggle in a
+			// negative CitationID, and a zero one a duplicate-of-zero.
+			if id <= prev {
 				return nil, fmt.Errorf("index: term %q: postings not ascending", term)
 			}
 			list = append(list, id)

@@ -95,10 +95,14 @@ type Record struct {
 	Session string `json:"session"`
 	// At is a caller-supplied wall-clock stamp (UnixNano); recovery uses
 	// the newest stamp per session for its TTL decision.
-	At       int64           `json:"at,omitempty"`
-	Keywords string          `json:"keywords,omitempty"` // TypeCreate
-	Policy   string          `json:"policy,omitempty"`   // TypeCreate
-	Action   json.RawMessage `json:"action,omitempty"`   // TypeAction
+	At       int64  `json:"at,omitempty"`
+	Keywords string `json:"keywords,omitempty"` // TypeCreate
+	Policy   string `json:"policy,omitempty"`   // TypeCreate
+	// Epoch records the dataset epoch the session was pinned to
+	// (TypeCreate). Recovery compares it against the serving epoch and
+	// counts a miss when the data moved underneath the journaled session.
+	Epoch  uint64          `json:"epoch,omitempty"`
+	Action json.RawMessage `json:"action,omitempty"` // TypeAction
 }
 
 // FsyncPolicy selects when appended records reach stable storage.

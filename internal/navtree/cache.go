@@ -29,22 +29,33 @@ func NormalizeQuery(q string) string {
 	return strings.Join(fields, " ")
 }
 
-// Cache is a concurrency-safe LRU cache of built navigation trees, keyed by
-// normalized query. Trees are immutable, so one cached tree can safely back
-// any number of concurrent sessions; only per-session state (the active
-// tree) must be rebuilt per user.
+// Key identifies one cached navigation tree: a dataset epoch plus a
+// normalized query. Keying by epoch makes invalidation versioned rather
+// than wholesale — after an ingest bumps the epoch, new queries miss (and
+// rebuild against fresh data) simply because their key differs, while
+// sessions pinned to the old epoch keep hitting their entries until
+// DropEpochsBefore reclaims them.
+type Key struct {
+	Epoch uint64
+	Query string // normalized via NormalizeQuery
+}
+
+// Cache is a concurrency-safe LRU cache of built navigation trees, keyed
+// by (epoch, normalized query). Trees are immutable, so one cached tree
+// can safely back any number of concurrent sessions; only per-session
+// state (the active tree) must be rebuilt per user.
 type Cache struct {
 	mu      sync.Mutex
-	cap     int                      // immutable after NewCache
-	order   *list.List               // guarded by mu; front = most recently used; element values are *cacheEntry
-	items   map[string]*list.Element // guarded by mu
-	flights map[string]*flight       // guarded by mu; in-progress builds, for GetOrBuild coalescing
-	hits    uint64                   // guarded by mu
-	misses  uint64                   // guarded by mu
+	cap     int                   // immutable after NewCache
+	order   *list.List            // guarded by mu; front = most recently used; element values are *cacheEntry
+	items   map[Key]*list.Element // guarded by mu
+	flights map[Key]*flight       // guarded by mu; in-progress builds, for GetOrBuild coalescing
+	hits    uint64                // guarded by mu
+	misses  uint64                // guarded by mu
 }
 
 type cacheEntry struct {
-	key  string
+	key  Key
 	tree *Tree
 }
 
@@ -66,8 +77,8 @@ func NewCache(capacity int) *Cache {
 	return &Cache{
 		cap:     capacity,
 		order:   list.New(),
-		items:   make(map[string]*list.Element, capacity),
-		flights: make(map[string]*flight),
+		items:   make(map[Key]*list.Element, capacity),
+		flights: make(map[Key]*flight),
 	}
 }
 
@@ -75,7 +86,7 @@ func NewCache(capacity int) *Cache {
 // c.mu. An armed faults.SiteNavCacheGet failpoint forces a miss —
 // simulating a failed or cold cache tier; callers rebuild the tree, which
 // is the cache's contractual degradation path.
-func (c *Cache) getLocked(key string) (*Tree, bool) {
+func (c *Cache) getLocked(key Key) (*Tree, bool) {
 	if faults.Inject(faults.SiteNavCacheGet) != nil {
 		c.misses++
 		navCacheMisses.Inc()
@@ -94,7 +105,7 @@ func (c *Cache) getLocked(key string) (*Tree, bool) {
 }
 
 // Get returns the cached tree for key, marking it most recently used.
-func (c *Cache) Get(key string) (*Tree, bool) {
+func (c *Cache) Get(key Key) (*Tree, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.getLocked(key)
@@ -109,7 +120,7 @@ func (c *Cache) Get(key string) (*Tree, bool) {
 // honors its own ctx and abandons the wait with the ctx error; the flight
 // itself is unaffected. A failed build is not cached: waiters of that
 // flight share its error, and the next GetOrBuild retries.
-func (c *Cache) GetOrBuild(ctx context.Context, key string, build func() (*Tree, error)) (*Tree, error) {
+func (c *Cache) GetOrBuild(ctx context.Context, key Key, build func() (*Tree, error)) (*Tree, error) {
 	c.mu.Lock()
 	if t, ok := c.getLocked(key); ok {
 		c.mu.Unlock()
@@ -144,13 +155,13 @@ func (c *Cache) GetOrBuild(ctx context.Context, key string, build func() (*Tree,
 // Add stores the tree under key, evicting the least recently used entry if
 // the cache is full. Re-adding an existing key refreshes its tree and
 // recency.
-func (c *Cache) Add(key string, t *Tree) {
+func (c *Cache) Add(key Key, t *Tree) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.addLocked(key, t)
 }
 
-func (c *Cache) addLocked(key string, t *Tree) {
+func (c *Cache) addLocked(key Key, t *Tree) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).tree = t
 		c.order.MoveToFront(el)
@@ -163,6 +174,28 @@ func (c *Cache) addLocked(key string, t *Tree) {
 		delete(c.items, el.Value.(*cacheEntry).key)
 		navCacheEvictions.Inc()
 	}
+}
+
+// DropEpochsBefore evicts every cached tree whose key epoch is below
+// epoch, returning how many were dropped — the versioned invalidation an
+// ingest swap triggers once no session is pinned to older epochs.
+// Same-epoch (and newer) entries are untouched and keep hitting.
+func (c *Cache) DropEpochsBefore(epoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.Epoch < epoch {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			navCacheEvictions.Inc()
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // Len reports the number of cached trees.

@@ -2,6 +2,9 @@ package navtree
 
 import "testing"
 
+// qk builds an epoch-0 cache key, the common case in these tests.
+func qk(q string) Key { return Key{Query: q} }
+
 func TestNormalizeQuery(t *testing.T) {
 	cases := []struct {
 		in, want string
@@ -37,7 +40,7 @@ func TestNormalizeQuery(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	f := newFixture(t)
 	trees := make([]*Tree, 4)
-	keys := []string{"a", "b", "c", "d"}
+	keys := []Key{qk("a"), qk("b"), qk("c"), qk("d")}
 	for i := range trees {
 		trees[i] = f.build(t, 1)
 	}
@@ -78,13 +81,50 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheMinimumCapacity(t *testing.T) {
 	c := NewCache(0) // clamps to 1
 	f := newFixture(t)
-	c.Add("x", f.build(t, 1))
-	c.Add("y", f.build(t, 2))
+	c.Add(qk("x"), f.build(t, 1))
+	c.Add(qk("y"), f.build(t, 2))
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
 	}
-	if _, ok := c.Get("x"); ok {
+	if _, ok := c.Get(qk("x")); ok {
 		t.Fatal("x should have been evicted by capacity-1 cache")
+	}
+}
+
+// TestCacheEpochKeys: the same query under two epochs is two independent
+// entries, and DropEpochsBefore evicts exactly the stale epochs — the
+// versioned invalidation an ingest swap performs. Same-epoch entries keep
+// hitting afterwards.
+func TestCacheEpochKeys(t *testing.T) {
+	f := newFixture(t)
+	old := f.build(t, 1)
+	fresh := f.build(t, 1, 2)
+	c := NewCache(8)
+
+	c.Add(Key{Epoch: 0, Query: "p53"}, old)
+	c.Add(Key{Epoch: 1, Query: "p53"}, fresh)
+	c.Add(Key{Epoch: 1, Query: "mdm2"}, fresh)
+
+	if got, ok := c.Get(Key{Epoch: 0, Query: "p53"}); !ok || got != old {
+		t.Fatal("epoch-0 entry unreachable while pinned sessions still need it")
+	}
+	if got, ok := c.Get(Key{Epoch: 1, Query: "p53"}); !ok || got != fresh {
+		t.Fatal("epoch-1 entry should be independent of epoch 0")
+	}
+
+	if dropped := c.DropEpochsBefore(1); dropped != 1 {
+		t.Fatalf("DropEpochsBefore(1) dropped %d entries, want 1", dropped)
+	}
+	if _, ok := c.Get(Key{Epoch: 0, Query: "p53"}); ok {
+		t.Fatal("stale epoch-0 entry survived DropEpochsBefore(1)")
+	}
+	for _, q := range []string{"p53", "mdm2"} {
+		if _, ok := c.Get(Key{Epoch: 1, Query: q}); !ok {
+			t.Fatalf("current-epoch entry %q was wrongly invalidated", q)
+		}
+	}
+	if dropped := c.DropEpochsBefore(1); dropped != 0 {
+		t.Fatalf("second DropEpochsBefore(1) dropped %d entries, want 0", dropped)
 	}
 }
 

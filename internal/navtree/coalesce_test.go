@@ -73,7 +73,7 @@ func TestCacheGetOrBuildStampede(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			started.Done()
-			got[i], errs[i] = c.GetOrBuild(context.Background(), "stampede", build)
+			got[i], errs[i] = c.GetOrBuild(context.Background(), qk("stampede"), build)
 		}(i)
 	}
 	wg.Wait()
@@ -89,7 +89,7 @@ func TestCacheGetOrBuildStampede(t *testing.T) {
 			t.Fatalf("request %d got a different tree", i)
 		}
 	}
-	if hit, ok := c.Get("stampede"); !ok || hit != tree {
+	if hit, ok := c.Get(qk("stampede")); !ok || hit != tree {
 		t.Fatal("stampede result was not cached")
 	}
 }
@@ -110,7 +110,7 @@ func TestCacheGetOrBuildWaiterCancel(t *testing.T) {
 	leaderDone.Add(1)
 	go func() {
 		defer leaderDone.Done()
-		leaderTree, leaderErr = c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+		leaderTree, leaderErr = c.GetOrBuild(context.Background(), qk("k"), func() (*Tree, error) {
 			close(leaderIn)
 			<-gate
 			return tree, nil
@@ -120,7 +120,7 @@ func TestCacheGetOrBuildWaiterCancel(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.GetOrBuild(ctx, "k", func() (*Tree, error) {
+	if _, err := c.GetOrBuild(ctx, qk("k"), func() (*Tree, error) {
 		t.Error("cancelled waiter must not start its own build")
 		return nil, nil
 	}); !errors.Is(err, context.Canceled) {
@@ -132,7 +132,7 @@ func TestCacheGetOrBuildWaiterCancel(t *testing.T) {
 	if leaderErr != nil || leaderTree != tree {
 		t.Fatalf("leader = (%v, %v), want the built tree", leaderTree, leaderErr)
 	}
-	if hit, ok := c.Get("k"); !ok || hit != tree {
+	if hit, ok := c.Get(qk("k")); !ok || hit != tree {
 		t.Fatal("waiter cancellation poisoned the cached build")
 	}
 }
@@ -145,7 +145,7 @@ func TestCacheGetOrBuildErrorNotCached(t *testing.T) {
 	c := NewCache(4)
 	boom := errors.New("index exploded")
 
-	if _, err := c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+	if _, err := c.GetOrBuild(context.Background(), qk("k"), func() (*Tree, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want build failure", err)
@@ -153,7 +153,7 @@ func TestCacheGetOrBuildErrorNotCached(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatal("failed build was cached")
 	}
-	got, err := c.GetOrBuild(context.Background(), "k", func() (*Tree, error) {
+	got, err := c.GetOrBuild(context.Background(), qk("k"), func() (*Tree, error) {
 		return tree, nil
 	})
 	if err != nil || got != tree {

@@ -16,10 +16,10 @@ func TestFaultCacheGetForcedMiss(t *testing.T) {
 	f := newFixture(t)
 	tree := f.build(t, 1)
 	c := NewCache(4)
-	c.Add("q", tree)
+	c.Add(qk("q"), tree)
 
 	faults.Arm(faults.SiteNavCacheGet, faults.Always(), nil)
-	if _, ok := c.Get("q"); ok {
+	if _, ok := c.Get(qk("q")); ok {
 		t.Fatal("Get hit with the cache failpoint armed")
 	}
 	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
@@ -27,7 +27,7 @@ func TestFaultCacheGetForcedMiss(t *testing.T) {
 	}
 
 	faults.Disarm(faults.SiteNavCacheGet)
-	got, ok := c.Get("q")
+	got, ok := c.Get(qk("q"))
 	if !ok || got != tree {
 		t.Fatal("entry lost after forced misses")
 	}
@@ -43,15 +43,15 @@ func TestFaultCacheGetAfterN(t *testing.T) {
 	t.Cleanup(faults.Reset)
 	f := newFixture(t)
 	c := NewCache(4)
-	c.Add("q", f.build(t, 1))
+	c.Add(qk("q"), f.build(t, 1))
 
 	faults.Arm(faults.SiteNavCacheGet, faults.AfterN(2), nil)
 	for i := 0; i < 2; i++ {
-		if _, ok := c.Get("q"); !ok {
+		if _, ok := c.Get(qk("q")); !ok {
 			t.Fatalf("lookup %d missed before the trigger threshold", i)
 		}
 	}
-	if _, ok := c.Get("q"); ok {
+	if _, ok := c.Get(qk("q")); ok {
 		t.Fatal("lookup 3 hit past the trigger threshold")
 	}
 	if _, fires := faults.Counts(faults.SiteNavCacheGet); fires != 1 {

@@ -31,9 +31,9 @@ import (
 // FsyncAlways that is the kill -9-proof contract the chaos harness
 // asserts.
 
-// journalCreate records a new session's birth. Call after register, with
-// no locks held.
-func (s *Server) journalCreate(id string, keywords string) {
+// journalCreate records a new session's birth, including the dataset
+// epoch it is pinned to. Call after register, with no locks held.
+func (s *Server) journalCreate(id string, keywords string, epoch uint64) {
 	if s.cfg.Journal == nil {
 		return
 	}
@@ -43,6 +43,7 @@ func (s *Server) journalCreate(id string, keywords string) {
 		At:       time.Now().UnixNano(),
 		Keywords: keywords,
 		Policy:   s.newPolicy().Name(),
+		Epoch:    epoch,
 	})
 	if err != nil {
 		s.journalAppendFailed(id, err)
@@ -105,7 +106,8 @@ type pendingSession struct {
 	created  bool
 	closed   bool
 	keywords string
-	last     int64 // newest record stamp (UnixNano); drives the TTL skip
+	epoch    uint64 // dataset epoch of the create record
+	last     int64  // newest record stamp (UnixNano); drives the TTL skip
 	actions  []json.RawMessage
 }
 
@@ -134,6 +136,7 @@ func (s *Server) Recover(ctx context.Context) (int, error) {
 		case journal.TypeCreate:
 			p.created = true
 			p.keywords = r.Keywords
+			p.epoch = r.Epoch
 		case journal.TypeAction:
 			p.actions = append(p.actions, r.Action)
 		case journal.TypeClose:
@@ -187,11 +190,24 @@ func (s *Server) Recover(ctx context.Context) (int, error) {
 }
 
 // recoverSession rebuilds one session and registers it under its old ID.
+// Only the latest snapshot is materialized after a restart, so a session
+// journaled under an older epoch cannot get its exact dataset back: it
+// degrades by replaying against the current epoch, and the mismatch is
+// counted (bionav_recovery_epoch_misses_total). When the moved data makes
+// the replay invalid, that surfaces as an ordinary recovery error.
 func (s *Server) recoverSession(ctx context.Context, id string, p *pendingSession) error {
 	if err := faults.InjectCtx(ctx, faults.SiteJournalRecover); err != nil {
 		return fmt.Errorf("server: recover %s: %w", id, err)
 	}
-	nav, err := s.navTreeFor(ctx, p.keywords)
+	st := s.state()
+	if p.epoch != st.snap.Epoch {
+		s.met.epochMisses.Inc()
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("session journaled under a different dataset epoch; replaying against current",
+				"session", id, "journaled", p.epoch, "current", st.snap.Epoch)
+		}
+	}
+	nav, err := s.navTreeFor(ctx, st, p.keywords)
 	if err != nil {
 		return fmt.Errorf("server: recover %s: query: %w", id, err)
 	}
@@ -201,6 +217,7 @@ func (s *Server) recoverSession(ctx context.Context, id string, p *pendingSessio
 	}
 	sess := &session{
 		nav:      restored,
+		st:       st,
 		keywords: p.keywords,
 		lastUsed: time.Unix(0, p.last),
 		// Everything replayed came from the journal; only future actions
@@ -264,6 +281,7 @@ func (s *Server) checkpointJournal() error {
 			At:       l.at,
 			Keywords: l.sess.keywords,
 			Policy:   s.newPolicy().Name(),
+			Epoch:    l.sess.st.snap.Epoch,
 		})
 		for _, f := range frames {
 			recs = append(recs, journal.Record{

@@ -28,6 +28,7 @@ type serverMetrics struct {
 	traces         *obs.Counter
 	recovered      *obs.Counter
 	recoveryErrors *obs.Counter
+	epochMisses    *obs.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -52,7 +53,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Sessions rebuilt from the journal by startup recovery."),
 		recoveryErrors: r.Counter("bionav_recovery_errors_total",
 			"Journaled sessions that failed to rebuild at startup recovery."),
+		epochMisses: r.Counter("bionav_recovery_epoch_misses_total",
+			"Recovered sessions journaled under a different dataset epoch than the one serving, replayed degraded against current data."),
 	}
+	r.GaugeFunc("bionav_dataset_epoch",
+		"Dataset epoch serving new queries (ingest batches applied since load).", func() float64 {
+			return float64(s.cur.Load().snap.Epoch)
+		})
 	r.GaugeFunc("bionav_sessions_live",
 		"Navigation sessions currently registered.", func() float64 {
 			s.mu.Lock()
@@ -108,6 +115,8 @@ var knownRoutes = map[string]bool{
 	"/api/export":    true,
 	"/api/import":    true,
 	"/api/stats":     true,
+
+	"/api/admin/ingest": true,
 }
 
 func routeLabel(r *http.Request) string {

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"bionav/internal/core"
+	"bionav/internal/corpus"
+	"bionav/internal/hierarchy"
 	"bionav/internal/journal"
 	"bionav/internal/navigate"
 	"bionav/internal/navtree"
@@ -107,12 +109,26 @@ func (c *Config) fill() {
 	}
 }
 
-// Server serves the BioNav API over one dataset. Safe for concurrent use.
+// snapState pairs one pinned dataset snapshot with the ranking scorer
+// built over it. Immutable; shared by every session created on that
+// epoch, and swapped atomically as a unit when an ingest publishes the
+// next epoch — a handler can never observe a scorer from one epoch
+// ranking results of another.
+type snapState struct {
+	snap   *store.Snapshot
+	scorer *rank.Scorer
+}
+
+func newSnapState(sn *store.Snapshot) *snapState {
+	return &snapState{snap: sn, scorer: rank.NewScorer(sn.Corpus, sn.Index)}
+}
+
+// Server serves the BioNav API over a live corpus. Safe for concurrent use.
 type Server struct {
-	ds       *store.Dataset
+	live     *store.Live
+	cur      atomic.Pointer[snapState] // serving snapshot; sessions pin the one they started on
 	cfg      Config
-	scorer   *rank.Scorer
-	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions
+	navCache *navtree.Cache // nil when disabled; immutable trees, shared across sessions; keyed by (epoch, query)
 	pool     *core.Pool     // parallel EXPAND solves + sharded tree builds; nil when disabled
 	sem      chan struct{}  // in-flight /api/ slots; nil when shedding disabled
 	met      *serverMetrics // per-instance registry; /api/stats reads through it
@@ -145,6 +161,7 @@ type Server struct {
 type session struct {
 	mu       sync.Mutex
 	nav      *navigate.Session // guarded by mu
+	st       *snapState        // immutable: the epoch the session started on, pinned for its lifetime
 	keywords string            // immutable after construction
 	lastUsed time.Time         // guarded by Server.mu: the TTL clock belongs to the session table
 	expired  atomic.Bool
@@ -154,16 +171,24 @@ type session struct {
 	journaled int
 }
 
-// New builds a server over the dataset.
+// New builds a server over a static dataset: a memory-only live corpus
+// wraps it, so /api/admin/ingest works but ingested batches do not persist.
 func New(ds *store.Dataset, cfg Config) *Server {
+	return NewLive(store.NewLive(ds), cfg)
+}
+
+// NewLive builds a server over a live corpus. New queries run against
+// live.Current() at the time they arrive; each session stays pinned to
+// the snapshot it started on until it ends.
+func NewLive(live *store.Live, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		ds:       ds,
+		live:     live,
 		cfg:      cfg,
-		scorer:   rank.NewScorer(ds.Corpus, ds.Index),
 		sessions: make(map[string]*session),
 		drainCh:  make(chan struct{}),
 	}
+	s.cur.Store(newSnapState(live.Current()))
 	if cfg.NavCacheSize > 0 {
 		s.navCache = navtree.NewCache(cfg.NavCacheSize)
 	}
@@ -193,26 +218,67 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
-// navTreeFor resolves a keyword query to its navigation tree, serving
-// repeat queries from the LRU cache. The cache key is the normalized query;
-// the search itself also runs on the normal form, so equal keys are
-// guaranteed equal results and the cached tree is exact. Concurrent
-// cold-cache requests for one key coalesce onto a single build
-// (navtree.Cache.GetOrBuild), and the build itself shards across the
-// solve pool when one is configured.
-func (s *Server) navTreeFor(ctx context.Context, keywords string) (*navtree.Tree, error) {
+// state returns the snapshot state serving new queries. Sessions capture
+// it once at creation and use their own pinned copy from then on.
+func (s *Server) state() *snapState { return s.cur.Load() }
+
+// publish swaps the serving snapshot to next and evicts nav-cache entries
+// of epochs nothing can reach anymore. Ingests serialize inside
+// store.Live, but their publishes can race here; the CAS loop keeps the
+// pointer monotonic — an older epoch never overwrites a newer one.
+func (s *Server) publish(next *store.Snapshot) {
+	st := newSnapState(next)
+	for {
+		old := s.cur.Load()
+		if old.snap.Epoch >= next.Epoch {
+			return
+		}
+		if s.cur.CompareAndSwap(old, st) {
+			break
+		}
+	}
+	if s.navCache != nil {
+		s.navCache.DropEpochsBefore(s.minPinnedEpoch())
+	}
+}
+
+// minPinnedEpoch reports the oldest epoch still in use: the serving one
+// or the oldest a live session is pinned to, whichever is older. Cache
+// entries below it are unreachable — no key can ever name them again.
+func (s *Server) minPinnedEpoch() uint64 {
+	min := s.cur.Load().snap.Epoch
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		if e := sess.st.snap.Epoch; e < min {
+			min = e
+		}
+	}
+	s.mu.Unlock()
+	return min
+}
+
+// navTreeFor resolves a keyword query to its navigation tree over st's
+// snapshot, serving repeat queries from the LRU cache. The cache key is
+// (epoch, normalized query): the search runs on the normal form, so equal
+// keys are guaranteed equal results within one epoch, and keying by epoch
+// keeps trees from different dataset versions apart — a pinned session
+// keeps hitting its epoch's entries while new queries build against fresh
+// data. Concurrent cold-cache requests for one key coalesce onto a single
+// build (navtree.Cache.GetOrBuild), and the build itself shards across
+// the solve pool when one is configured.
+func (s *Server) navTreeFor(ctx context.Context, st *snapState, keywords string) (*navtree.Tree, error) {
 	sp := obs.FromContext(ctx).StartChild("nav_tree")
 	defer sp.End()
-	key := navtree.NormalizeQuery(keywords)
+	key := navtree.Key{Epoch: st.snap.Epoch, Query: navtree.NormalizeQuery(keywords)}
 	built := false
 	build := func() (*navtree.Tree, error) {
 		built = true
-		results := s.ds.Index.SearchQuery(key)
+		results := st.snap.Index.SearchQuery(key.Query)
 		if len(results) == 0 {
 			return nil, fmt.Errorf("no citations match %q", keywords)
 		}
 		sp.SetAttr("results", len(results))
-		return navtree.BuildParallel(s.ds.Corpus, results, s.pool.Size()), nil
+		return navtree.BuildParallel(st.snap.Corpus, results, s.pool.Size()), nil
 	}
 	if s.navCache == nil {
 		sp.SetAttr("cache", "off")
@@ -245,6 +311,7 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /api/export", s.handleExport)
 	api.HandleFunc("POST /api/import", s.handleImport)
 	api.HandleFunc("GET /api/stats", s.handleStats)
+	api.HandleFunc("POST /api/admin/ingest", s.handleIngest)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -362,15 +429,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	nav, err := s.navTreeFor(r.Context(), req.Keywords)
+	st := s.state()
+	nav, err := s.navTreeFor(r.Context(), st, req.Keywords)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
 	sess := navigate.NewSession(nav, s.newPolicy())
 
-	id := s.register(&session{nav: sess, keywords: req.Keywords, lastUsed: time.Now()})
-	s.journalCreate(id, req.Keywords)
+	id := s.register(&session{nav: sess, st: st, keywords: req.Keywords, lastUsed: time.Now()})
+	s.journalCreate(id, req.Keywords, st.snap.Epoch)
 	s.writeState(w, id)
 }
 
@@ -580,11 +648,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	// Order listings by relevance to the session's query (§I ranking).
-	ranked := s.scorer.Rank(sess.keywords, ids)
+	// Order listings by relevance to the session's query (§I ranking),
+	// scored and resolved on the session's pinned snapshot: a mid-session
+	// ingest must not change what an open session lists.
+	ranked := sess.st.scorer.Rank(sess.keywords, ids)
 	out := make([]citationView, 0, len(ranked))
 	for _, r := range ranked {
-		if cit, ok := s.ds.Corpus.Get(r.ID); ok {
+		if cit, ok := sess.st.snap.Corpus.Get(r.ID); ok {
 			out = append(out, citationView{
 				ID: int64(cit.ID), Title: cit.Title, Authors: cit.Authors, Year: cit.Year,
 			})
@@ -626,7 +696,8 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	nav, err := s.navTreeFor(r.Context(), req.Keywords)
+	st := s.state()
+	nav, err := s.navTreeFor(r.Context(), st, req.Keywords)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -636,13 +707,68 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	sess := &session{nav: restored, keywords: req.Keywords, lastUsed: time.Now()}
+	sess := &session{nav: restored, st: st, keywords: req.Keywords, lastUsed: time.Now()}
 	id := s.register(sess)
-	s.journalCreate(id, req.Keywords)
+	s.journalCreate(id, req.Keywords, st.snap.Epoch)
 	sess.mu.Lock()
 	s.journalActionsLocked(id, sess) // the imported history is this session's log
 	sess.mu.Unlock()
 	s.writeState(w, id)
+}
+
+// ingestRequest carries one batch of citations to append to the live
+// corpus. Concepts are hierarchy concept IDs, strictly ascending per
+// citation; an ID already in the corpus upserts it (last wins).
+type ingestRequest struct {
+	Citations []ingestCitation `json:"citations"`
+}
+
+type ingestCitation struct {
+	ID       int64    `json:"id"`
+	Title    string   `json:"title"`
+	Authors  []string `json:"authors,omitempty"`
+	Year     int      `json:"year"`
+	Terms    []string `json:"terms,omitempty"`
+	Concepts []int    `json:"concepts"`
+}
+
+type ingestResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	Citations int    `json:"citations"`
+}
+
+// handleIngest appends a citation batch to the live corpus and publishes
+// the resulting epoch. The whole batch applies or none of it; on success
+// new queries immediately see the fresh data, while sessions already open
+// keep navigating the snapshot they are pinned to.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Citations) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("server: ingest: empty batch"))
+		return
+	}
+	batch := make([]corpus.Citation, len(req.Citations))
+	for i, c := range req.Citations {
+		concepts := make([]hierarchy.ConceptID, len(c.Concepts))
+		for j, id := range c.Concepts {
+			concepts[j] = hierarchy.ConceptID(id)
+		}
+		batch[i] = corpus.Citation{
+			ID: corpus.CitationID(c.ID), Title: c.Title, Authors: c.Authors,
+			Year: c.Year, Terms: c.Terms, Concepts: concepts,
+		}
+	}
+	next, err := s.live.Ingest(batch)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.publish(next)
+	writeJSON(w, http.StatusOK, ingestResponse{Epoch: next.Epoch, Citations: len(batch)})
 }
 
 // handleStats is a JSON read-through view over the server's metric
@@ -656,10 +782,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.sem != nil {
 		queueDepth = len(s.sem)
 	}
+	st := s.state()
 	stats := map[string]any{
-		"concepts":        s.ds.Tree.Len(),
-		"citations":       s.ds.Corpus.Len(),
-		"terms":           s.ds.Index.Terms(),
+		"concepts":        st.snap.Tree.Len(),
+		"citations":       st.snap.Corpus.Len(),
+		"terms":           st.snap.Index.Terms(),
+		"datasetEpoch":    st.snap.Epoch,
 		"policy":          s.newPolicy().Name(),
 		"sessions":        active,
 		"sessions_live":   active,
@@ -794,21 +922,21 @@ func (s *Server) stateLocked(id string, sess *session) stateResponse {
 			CitationsListed:  cost.CitationsListed,
 			Navigation:       cost.Navigation(),
 		},
-		Tree: s.buildView(at.Nav(), vis, at.Nav().Root()),
+		Tree: s.buildView(sess.st, at.Nav(), vis, at.Nav().Root()),
 	}
 }
 
-func (s *Server) buildView(nav *navtree.Tree, vis map[navtree.NodeID]*core.VisibleNode, id navtree.NodeID) nodeView {
+func (s *Server) buildView(st *snapState, nav *navtree.Tree, vis map[navtree.NodeID]*core.VisibleNode, id navtree.NodeID) nodeView {
 	v := vis[id]
 	out := nodeView{
 		Node:       id,
 		Label:      v.Label,
-		TreeID:     s.ds.Tree.Node(nav.Concept(id)).TreeID,
+		TreeID:     st.snap.Tree.Node(nav.Concept(id)).TreeID,
 		Count:      v.Count,
 		Expandable: v.Expandable,
 	}
 	for _, c := range v.Children {
-		out.Children = append(out.Children, s.buildView(nav, vis, c))
+		out.Children = append(out.Children, s.buildView(st, nav, vis, c))
 	}
 	return out
 }

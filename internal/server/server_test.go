@@ -55,7 +55,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]js
 
 // queryTerm picks a term guaranteed to match at least one citation.
 func queryTerm(srv *Server) string {
-	return srv.ds.Corpus.At(0).Terms[0]
+	return srv.state().snap.Corpus.At(0).Terms[0]
 }
 
 func TestQueryExpandShowResults(t *testing.T) {
@@ -230,7 +230,7 @@ func TestStatsAndIndexPage(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if int(stats["concepts"].(float64)) != srv.ds.Tree.Len() || int(stats["citations"].(float64)) != srv.ds.Corpus.Len() {
+	if int(stats["concepts"].(float64)) != srv.state().snap.Tree.Len() || int(stats["citations"].(float64)) != srv.state().snap.Corpus.Len() {
 		t.Fatalf("stats = %v", stats)
 	}
 	if stats["policy"] != "Heuristic-ReducedOpt" {

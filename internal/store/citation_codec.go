@@ -1,14 +1,36 @@
 package store
 
 import (
+	"fmt"
+
 	"bionav/internal/corpus"
 	"bionav/internal/hierarchy"
 )
 
+// conceptsStrictlyAscending reports whether a concept annotation list is
+// strictly ascending and all-positive — the invariant the delta codec
+// requires on both sides. Root (0) and negative IDs are excluded: a valid
+// first delta from prev=0 is therefore always >= 1.
+func conceptsStrictlyAscending(concepts []hierarchy.ConceptID) bool {
+	prev := hierarchy.ConceptID(0)
+	for _, id := range concepts {
+		if id <= prev {
+			return false
+		}
+		prev = id
+	}
+	return true
+}
+
 // encodeCitation serializes one citation record: ID, title, year, authors,
-// terms, then the concept annotations delta-encoded (they are sorted
-// ascending by construction).
-func encodeCitation(enc *Encoder, c *corpus.Citation) {
+// terms, then the concept annotations delta-encoded. The concepts must be
+// strictly ascending: the deltas are written as uvarints, so an unsorted or
+// duplicated list would silently wrap to a huge positive delta and decode
+// into garbage. Encoding validates and refuses instead.
+func encodeCitation(enc *Encoder, c *corpus.Citation) error {
+	if !conceptsStrictlyAscending(c.Concepts) {
+		return fmt.Errorf("%w: citation %d: concepts not strictly ascending", ErrCorrupt, c.ID)
+	}
 	enc.PutVarint(int64(c.ID))
 	enc.PutString(c.Title)
 	enc.PutUvarint(uint64(c.Year))
@@ -26,6 +48,7 @@ func encodeCitation(enc *Encoder, c *corpus.Citation) {
 		enc.PutUvarint(uint64(id - prev))
 		prev = id
 	}
+	return nil
 }
 
 // decodeCitation parses a record written by encodeCitation.
@@ -77,7 +100,14 @@ func decodeCitation(payload []byte) (corpus.Citation, error) {
 		if err != nil {
 			return c, err
 		}
-		prev += hierarchy.ConceptID(delta)
+		// Mirror index.Decode's "postings not ascending" check: a zero
+		// delta is a duplicate concept, an overflowing one goes negative.
+		// Either way the record never came from a valid encode.
+		next := prev + hierarchy.ConceptID(delta)
+		if next <= prev {
+			return c, fmt.Errorf("%w: citation %d: concepts not strictly ascending", ErrCorrupt, c.ID)
+		}
+		prev = next
 		c.Concepts = append(c.Concepts, prev)
 	}
 	if err := d.Finish(); err != nil {

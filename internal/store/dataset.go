@@ -76,7 +76,9 @@ func (ds *Dataset) save(w *Writer) error {
 	}
 	for i := 0; i < ds.Corpus.Len(); i++ {
 		enc.Reset()
-		encodeCitation(&enc, ds.Corpus.At(i))
+		if err := encodeCitation(&enc, ds.Corpus.At(i)); err != nil {
+			return err
+		}
 		if err := cit.Append(enc.Bytes()); err != nil {
 			return err
 		}

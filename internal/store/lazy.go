@@ -14,15 +14,28 @@ import (
 )
 
 // CitationReader serves point lookups of citations straight from the
-// database file, without materializing the corpus in memory — the serving
+// database files, without materializing the corpus in memory — the serving
 // role the paper's Oracle database plays for SHOWRESULTS/ESummary against
-// 18M-citation MEDLINE. Opening scans the citation table once to build an
-// in-memory (ID → file location) index (16 bytes per citation); Get then
-// costs one ReadAt plus decode, front-ended by a small LRU cache.
+// 18M-citation MEDLINE. Opening scans the citation table (and, when
+// present, the ingest log) once to build an in-memory (ID → file location)
+// index; Get then costs one ReadAt plus decode, front-ended by a small
+// LRU cache.
 //
-// CitationReader is safe for concurrent use.
+// Frames index in storage order — base citations table first, then the
+// ingest log's batches — and a later frame for an already-seen citation
+// ID replaces the earlier one's location: **duplicate frames last-win**.
+// That is the documented upsert semantic the ingest append path relies
+// on: re-ingesting a citation ID supersedes the stored record without
+// rewriting the base table, and a reader opened afterwards serves the
+// newest version. Torn tails (crash artifacts mid-append) end the scan
+// and are counted by bionav_store_torn_tails_total.
+//
+// CitationReader is safe for concurrent use. The location index is fixed
+// at open: batches ingested later are served only by a reader reopened
+// after them.
 type CitationReader struct {
 	f       *os.File
+	ing     *os.File // ingest log; nil when the directory has none
 	offsets map[corpus.CitationID]recordLoc
 
 	mu    sync.Mutex
@@ -33,10 +46,11 @@ type recordLoc struct {
 	offset int64
 	length uint32
 	crc    uint32
+	ing    bool // location is in the ingest log, not the citations table
 }
 
-// OpenCitationReader indexes dir's citation table. cacheSize bounds the
-// decoded-citation LRU (0 disables caching).
+// OpenCitationReader indexes dir's citation table plus its ingest log.
+// cacheSize bounds the decoded-citation LRU (0 disables caching).
 func OpenCitationReader(dir string, cacheSize int) (*CitationReader, error) {
 	path := filepath.Join(dir, tableCitations+tableSuffix)
 	f, err := os.Open(path)
@@ -49,7 +63,7 @@ func OpenCitationReader(dir string, cacheSize int) (*CitationReader, error) {
 		cache:   newLRU(cacheSize),
 	}
 	if err := r.buildIndex(); err != nil {
-		f.Close()
+		r.Close()
 		return nil, err
 	}
 	return r, nil
@@ -63,14 +77,20 @@ func (r *CitationReader) buildIndex() error {
 	if _, err := io.ReadFull(r.f, magic[:]); err != nil || magic != tableMagic {
 		return fmt.Errorf("%w: citations table: bad magic", ErrCorrupt)
 	}
+	fi, err := r.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: index citations: %w", err)
+	}
+	size := fi.Size()
 	offset := int64(len(magic))
 	var hdr [8]byte
 	var lead [binary.MaxVarintLen64]byte
-	for {
+	for offset < size {
+		if size-offset < 8 {
+			storeTornTails.Inc() // partial header at the tail
+			break
+		}
 		if _, err := r.f.ReadAt(hdr[:], offset); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // clean end or torn tail
-			}
 			return fmt.Errorf("store: index citations: %w", err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
@@ -78,20 +98,130 @@ func (r *CitationReader) buildIndex() error {
 		if length > maxRecordSize {
 			return fmt.Errorf("%w: citations table: record claims %d bytes", ErrCorrupt, length)
 		}
+		if offset+8+int64(length) > size {
+			storeTornTails.Inc() // record torn mid-payload
+			break
+		}
 		n := int(length)
 		if n > len(lead) {
 			n = len(lead)
 		}
 		if _, err := r.f.ReadAt(lead[:n], offset+8); err != nil {
-			return nil // torn tail
+			return fmt.Errorf("store: index citations: %w", err)
 		}
 		id, vn := binary.Varint(lead[:n])
 		if vn <= 0 {
 			return fmt.Errorf("%w: citations table: record at %d has no ID", ErrCorrupt, offset)
 		}
+		// Duplicate IDs last-win (upsert): a later frame supersedes.
 		r.offsets[corpus.CitationID(id)] = recordLoc{offset: offset + 8, length: length, crc: crc}
 		offset += 8 + int64(length)
 	}
+	return r.indexIngestLog(filepath.Dir(r.f.Name()))
+}
+
+// indexIngestLog overlays the ingest log's citations onto the offset
+// index, so point lookups serve the ingested (and upserted) records. Each
+// log frame is one batch: a citation count followed by length-prefixed
+// sub-records. The frame CRC is verified during the scan; per-citation
+// CRCs are computed here and re-verified lazily on Get like base records.
+func (r *CitationReader) indexIngestLog(dir string) error {
+	path := filepath.Join(dir, tableIngest+tableSuffix)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: open ingest log: %w", err)
+	}
+	r.ing = f
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // freshly created, magic not yet flushed: no batches
+		}
+		return fmt.Errorf("store: index ingest log: %w", err)
+	}
+	if magic != tableMagic {
+		return fmt.Errorf("%w: ingest log: bad magic", ErrCorrupt)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: index ingest log: %w", err)
+	}
+	size := fi.Size()
+	offset := int64(len(magic))
+	var hdr [8]byte
+	var buf []byte
+	for offset < size {
+		if size-offset < 8 {
+			storeTornTails.Inc()
+			break
+		}
+		if _, err := f.ReadAt(hdr[:], offset); err != nil {
+			return fmt.Errorf("store: index ingest log: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordSize {
+			return fmt.Errorf("%w: ingest log: record claims %d bytes", ErrCorrupt, length)
+		}
+		if offset+8+int64(length) > size {
+			storeTornTails.Inc()
+			break
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := f.ReadAt(buf, offset+8); err != nil {
+			return fmt.Errorf("store: index ingest log: %w", err)
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != want {
+			if offset+8+int64(length) == size {
+				storeTornTails.Inc() // torn final frame
+				break
+			}
+			return fmt.Errorf("%w: ingest log: frame at %d checksum %08x != %08x", ErrCorrupt, offset, got, want)
+		}
+		if err := r.indexBatchFrame(buf, offset+8); err != nil {
+			return err
+		}
+		offset += 8 + int64(length)
+	}
+	return nil
+}
+
+// indexBatchFrame walks one CRC-verified batch payload, registering each
+// sub-record's absolute location. payloadOff is the payload's offset in
+// the ingest log file.
+func (r *CitationReader) indexBatchFrame(payload []byte, payloadOff int64) error {
+	pos := 0
+	cnt, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("%w: ingest log: batch frame has no count", ErrCorrupt)
+	}
+	pos += n
+	for i := uint64(0); i < cnt; i++ {
+		slen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || uint64(len(payload)-pos-n) < slen {
+			return fmt.Errorf("%w: ingest log: batch frame truncated", ErrCorrupt)
+		}
+		pos += n
+		rec := payload[pos : pos+int(slen)]
+		id, vn := binary.Varint(rec)
+		if vn <= 0 {
+			return fmt.Errorf("%w: ingest log: batch citation has no ID", ErrCorrupt)
+		}
+		r.offsets[corpus.CitationID(id)] = recordLoc{
+			offset: payloadOff + int64(pos),
+			length: uint32(slen),
+			crc:    crc32.Checksum(rec, castagnoli),
+			ing:    true,
+		}
+		pos += int(slen)
+	}
+	return nil
 }
 
 // Len reports the number of indexed citations.
@@ -119,8 +249,12 @@ func (r *CitationReader) Get(id corpus.CitationID) (*corpus.Citation, error) {
 	r.mu.Unlock()
 	citationCacheMisses.Inc()
 
+	src := r.f
+	if loc.ing {
+		src = r.ing
+	}
 	buf := make([]byte, loc.length)
-	if _, err := r.f.ReadAt(buf, loc.offset); err != nil {
+	if _, err := src.ReadAt(buf, loc.offset); err != nil {
 		return nil, fmt.Errorf("store: read citation %d: %w", id, err)
 	}
 	if got := crc32.Checksum(buf, castagnoli); got != loc.crc {
@@ -136,8 +270,16 @@ func (r *CitationReader) Get(id corpus.CitationID) (*corpus.Citation, error) {
 	return &c, nil
 }
 
-// Close releases the file descriptor.
-func (r *CitationReader) Close() error { return r.f.Close() }
+// Close releases the file descriptors.
+func (r *CitationReader) Close() error {
+	err := r.f.Close()
+	if r.ing != nil {
+		if cerr := r.ing.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // lru is a minimal LRU cache of decoded citations. Not safe for concurrent
 // use; the reader serializes access.

@@ -155,6 +155,81 @@ func TestCitationReaderConcurrent(t *testing.T) {
 	}
 }
 
+// TestCitationReaderDuplicateFramesLastWin pins the upsert semantic: when
+// the citations table holds two frames for one ID, the later frame is the
+// record served — the contract the ingest append path relies on when it
+// supersedes a base citation without rewriting the base table.
+func TestCitationReaderDuplicateFramesLastWin(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	path := filepath.Join(dir, "citations.tbl")
+	first := ds.Corpus.At(0)
+	updated := *first
+	updated.Title = "superseded title, version two"
+
+	w, err := OpenLogAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc Encoder
+	if err := encodeCitation(&enc, &updated); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(enc.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCitationReader(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != ds.Corpus.Len() {
+		t.Fatalf("duplicate frame grew the index: %d vs %d", r.Len(), ds.Corpus.Len())
+	}
+	got, err := r.Get(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != updated.Title {
+		t.Fatalf("Get(%d) served %q, want the later frame %q", first.ID, got.Title, updated.Title)
+	}
+}
+
+// TestCitationReaderCountsTornTail: a crash artifact at the table's tail
+// must end the scan, leave the intact prefix fully servable, and bump
+// bionav_store_torn_tails_total — not silently vanish.
+func TestCitationReaderCountsTornTail(t *testing.T) {
+	dir, ds := lazyFixture(t)
+	path := filepath.Join(dir, "citations.tbl")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-payload of the final record.
+	if err := os.Truncate(path, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	before := storeTornTails.Value()
+	r, err := OpenCitationReader(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := storeTornTails.Value(); got != before+1 {
+		t.Fatalf("torn-tail counter %d, want %d", got, before+1)
+	}
+	if r.Len() != ds.Corpus.Len()-1 {
+		t.Fatalf("indexed %d citations after torn tail, want %d", r.Len(), ds.Corpus.Len()-1)
+	}
+	if _, err := r.Get(ds.Corpus.At(0).ID); err != nil {
+		t.Fatalf("intact prefix unreadable after torn tail: %v", err)
+	}
+}
+
 func TestCitationReaderMissingTable(t *testing.T) {
 	if _, err := OpenCitationReader(t.TempDir(), 4); err == nil {
 		t.Fatal("open succeeded without citations table")

@@ -76,6 +76,81 @@ func (w *LogWriter) Append(payload []byte) error {
 // Records reports how many records have been appended.
 func (w *LogWriter) Records() int { return w.n }
 
+// Sync flushes buffered records and fsyncs the file, so every Append so
+// far survives a crash. The writer stays open for further appends.
+func (w *LogWriter) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("store: flush: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("store: sync: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// OpenLogAppend opens a table file for appending. A missing file is
+// created fresh; an existing one is scanned to the end of its valid
+// prefix and a torn tail — the crash artifact appending after would turn
+// into mid-file garbage — is physically truncated first. Truncation here
+// is not separately counted: callers scan the same file with ReadLog
+// immediately before, and that scan already counted the torn tail. An
+// unreadable magic means the file never got past creation; it is
+// recreated.
+func OpenLogAppend(path string) (*LogWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return CreateLog(path)
+		}
+		return nil, fmt.Errorf("store: open log append: %w", err)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != tableMagic {
+		f.Close()
+		return CreateLog(path)
+	}
+	valid := int64(len(magic))
+	br := bufio.NewReaderSize(io.NewSectionReader(f, valid, 1<<62), 1<<16)
+	var buf []byte
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // clean end or partial header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordSize {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s: record claims %d bytes", ErrCorrupt, path, length)
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(buf, castagnoli) != want {
+			break // torn final record (an earlier ReadLog verified the prefix)
+		}
+		valid += 8 + int64(length)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek log end: %w", err)
+	}
+	return &LogWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
 // Close flushes, fsyncs, and closes the file. Close after a write error
 // still releases the descriptor but reports the earlier error.
 func (w *LogWriter) Close() error {
@@ -126,6 +201,7 @@ func ReadLog(path string, fn func(payload []byte) error) error {
 				return nil // clean end
 			}
 			// Partial header: torn tail from a crash mid-append.
+			storeTornTails.Inc()
 			return nil
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
@@ -139,6 +215,7 @@ func ReadLog(path string, fn func(payload []byte) error) error {
 		buf = buf[:length]
 		if _, err := io.ReadFull(br, buf); err != nil {
 			// Torn payload at the tail: recoverable.
+			storeTornTails.Inc()
 			return nil
 		}
 		if got := crc32.Checksum(buf, castagnoli); got != want {
@@ -146,6 +223,7 @@ func ReadLog(path string, fn func(payload []byte) error) error {
 			// the middle of the file it is corruption. Distinguish by
 			// peeking for more data.
 			if _, err := br.Peek(1); err == io.EOF {
+				storeTornTails.Inc()
 				return nil
 			}
 			return fmt.Errorf("%w: %s: record %d checksum %08x != %08x", ErrCorrupt, path, recNo, got, want)

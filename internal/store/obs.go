@@ -3,8 +3,8 @@ package store
 import "bionav/internal/obs"
 
 // Process-wide store metrics on the default registry
-// (docs/OBSERVABILITY.md catalogs them). LoadDataset timing goes through
-// obs.Time so this package never reads the clock directly.
+// (docs/OBSERVABILITY.md catalogs them). LoadDataset and Ingest timing go
+// through obs.Time so this package never reads the clock directly.
 var (
 	storeLoads = obs.Default.CounterVec("bionav_store_loads_total",
 		"Dataset loads by outcome (ok, error).", "outcome")
@@ -15,4 +15,13 @@ var (
 		"CitationReader point lookups served from the decoded-citation LRU.")
 	citationCacheMisses = obs.Default.Counter("bionav_citation_cache_misses_total",
 		"CitationReader point lookups that read and decoded from disk.")
+	storeTornTails = obs.Default.Counter("bionav_store_torn_tails_total",
+		"Torn table-log tails (crash artifacts) truncated while scanning store files.")
+	ingestBatches = obs.Default.CounterVec("bionav_ingest_batches_total",
+		"Ingest batches by outcome (ok, error).", "outcome")
+	ingestCitations = obs.Default.Counter("bionav_ingest_citations_total",
+		"Citations applied by ingest batches (fresh and upserted).")
+	ingestSeconds = obs.Default.Histogram("bionav_ingest_seconds",
+		"Wall time to apply one ingest batch (log append + snapshot build).",
+		obs.ExponentialBuckets(0.0001, 4, 8)) // 100µs … ~1.6s, then +Inf
 )
